@@ -1,0 +1,56 @@
+// Ablation: block size (paper outlook — "more investigations are necessary
+// to identify optimal block sizes for future systems"). Larger blocks
+// amortize the ghost overhead ((bs+6)^3 / bs^3 lab inflation) but stress the
+// cache; smaller blocks schedule more flexibly. Measures RHS throughput and
+// the lab-load share per block size.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "grid/lab.h"
+#include "perf/microbench.h"
+
+using namespace mpcf;
+using namespace mpcf::kernels;
+
+int main() {
+  std::puts("=== Ablation: block size ===");
+  std::printf("%-6s %14s %12s %14s %12s\n", "bs", "ghost overhd", "RHS GFLOP/s",
+              "lab load [us]", "lab share");
+  for (int bs : {8, 16, 32}) {
+    // Same total cell count (32^3) for every block size.
+    const int nb = 32 / bs;
+    Grid grid(nb, nb, nb, bs, 1e-3);
+    mpcf::bench::init_cloud_state(grid);
+    BlockLab lab;
+    lab.resize(bs);
+    RhsWorkspace ws;
+    ws.resize(bs);
+    const auto bc = BoundaryConditions::all(BCType::kAbsorbing);
+
+    const double t_lab = mpcf::bench::time_best_of([&] {
+      for (int b = 0; b < grid.block_count(); ++b) {
+        int x, y, z;
+        grid.indexer().coords(b, x, y, z);
+        lab.load(grid, x, y, z, bc);
+      }
+    });
+    const double t_rhs = mpcf::bench::time_best_of([&] {
+      for (int b = 0; b < grid.block_count(); ++b) {
+        int x, y, z;
+        grid.indexer().coords(b, x, y, z);
+        lab.load(grid, x, y, z, bc);
+        rhs_block(lab, static_cast<Real>(grid.h()), 0.0f, grid.block(b), ws);
+      }
+    });
+    const double n = bs + 2.0 * kGhosts;
+    const double overhead = n * n * n / (double(bs) * bs * bs);
+    const double flops = rhs_flops(bs) * grid.block_count();
+    std::printf("%-6d %13.2fx %12.2f %14.1f %11.0f%%\n", bs, overhead,
+                flops / t_rhs / 1e9, t_lab / grid.block_count() * 1e6,
+                100.0 * t_lab / t_rhs);
+  }
+  std::puts("\npaper uses 32^3 blocks: the ghost-overhead factor drops from");
+  std::puts("5.4x (bs=8) to 1.7x (bs=32) while the per-thread working set");
+  std::puts("still fits the cache hierarchy of the BQC.");
+  return 0;
+}

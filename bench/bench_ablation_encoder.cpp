@@ -1,0 +1,97 @@
+// Ablation: encoder choices of the compression pipeline (paper Section 5).
+// Two design claims are tested: (a) concatenating the detail coefficients of
+// adjacent blocks into one per-thread stream compresses better than encoding
+// each block independently ("the detail coefficients of adjacent blocks are
+// expected to assume similar ranges"); (b) the zlib effort level trades
+// encode time against rate.
+#include <zlib.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "compression/compressor.h"
+#include "wavelet/interp_wavelet.h"
+
+using namespace mpcf;
+
+namespace {
+
+std::size_t zlib_size(const std::uint8_t* src, std::size_t n, int level) {
+  uLongf bound = compressBound(static_cast<uLong>(n));
+  std::vector<std::uint8_t> out(bound);
+  compress2(out.data(), &bound, src, static_cast<uLong>(n), level);
+  return bound;
+}
+
+}  // namespace
+
+int main() {
+  Grid grid(4, 4, 4, 16, 2e-3);  // 64^3
+  mpcf::bench::init_cloud_state(grid, 12);
+
+  // Transform + decimate every block once, keep the coefficient cubes.
+  const int bs = 16, levels = wavelet::max_levels(bs);
+  const float eps = 2.3e-3f;
+  std::vector<std::vector<std::uint8_t>> cubes;
+  for (int b = 0; b < grid.block_count(); ++b) {
+    Field3D<float> cube(bs, bs, bs);
+    int x, y, z;
+    grid.indexer().coords(b, x, y, z);
+    for (int iz = 0; iz < bs; ++iz)
+      for (int iy = 0; iy < bs; ++iy)
+        for (int ix = 0; ix < bs; ++ix)
+          cube(ix, iy, iz) = grid.block(b)(ix, iy, iz).G;
+    wavelet::forward_3d(cube.view(), levels);
+    wavelet::decimate(cube.view(), levels, eps);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(cube.data());
+    cubes.emplace_back(p, p + cube.size() * sizeof(float));
+  }
+
+  const std::size_t raw = cubes.size() * cubes[0].size();
+
+  std::puts("=== Ablation: per-block encoding vs concatenated streams ===");
+  std::size_t per_block = 0;
+  for (const auto& c : cubes) per_block += zlib_size(c.data(), c.size(), 6);
+  std::vector<std::uint8_t> concat;
+  for (const auto& c : cubes) concat.insert(concat.end(), c.begin(), c.end());
+  const std::size_t merged = zlib_size(concat.data(), concat.size(), 6);
+  std::printf("per-block encoding:  %8zu B  (rate %5.1f:1)\n", per_block,
+              double(raw) / per_block);
+  std::printf("concatenated stream: %8zu B  (rate %5.1f:1, %.0f%% smaller)\n", merged,
+              double(raw) / merged, 100.0 * (1.0 - double(merged) / per_block));
+
+  std::puts("\n=== Ablation: zlib effort level (concatenated stream) ===");
+  std::printf("%-8s %12s %12s %12s\n", "level", "bytes", "rate", "time [ms]");
+  for (int level : {1, 3, 6, 9}) {
+    Timer t;
+    const std::size_t sz = zlib_size(concat.data(), concat.size(), level);
+    std::printf("%-8d %12zu %11.1f:1 %12.2f\n", level, sz, double(raw) / sz,
+                t.seconds() * 1e3);
+  }
+  std::puts("\n=== Ablation: coder backend (zlib vs sparse+zlib) ===");
+  {
+    using namespace mpcf::compression;
+    CompressionParams pz;
+    pz.eps = eps;
+    pz.quantity = Q_G;
+    CompressionParams ps = pz;
+    ps.coder = Coder::kSparseZlib;
+    Timer tz;
+    const auto cq_z = compress_quantity(grid, pz);
+    const double t_z = tz.seconds();
+    Timer ts;
+    const auto cq_s = compress_quantity(grid, ps);
+    const double t_s = ts.seconds();
+    std::printf("%-22s %10.1f:1 %10.2f ms\n", "zlib (paper)", cq_z.compression_rate(),
+                t_z * 1e3);
+    std::printf("%-22s %10.1f:1 %10.2f ms\n", "sparse+zlib", cq_s.compression_rate(),
+                t_s * 1e3);
+  }
+
+  std::puts("\npaper design check: stream concatenation buys a measurably better");
+  std::puts("rate for free — the basis for the per-thread buffer design (Fig. 3);");
+  std::puts("the sparse significance coder (the zerotree/SPIHT-style alternative)");
+  std::puts("trades coder complexity against zlib's general-purpose modeling.");
+  return 0;
+}

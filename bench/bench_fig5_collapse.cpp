@@ -1,0 +1,75 @@
+// Figure 5 reproduction: temporal evolution of (left) the maximum pressure
+// in the flow field and on the solid wall, (right) the kinetic energy and
+// the normalized equivalent radius of the cloud, for a bubble cloud
+// collapsing above a reflecting wall.
+//
+// Expected shape (paper): bubbles deform asymmetrically and collapse; the
+// field pressure spikes to many times the ambient 100 bar near maximum
+// kinetic energy; the wall pressure peaks later (~20x ambient in the paper's
+// units) as the collapse wave hits the wall; the equivalent radius decays,
+// then partially rebounds before the final collapse.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/simulation.h"
+#include "eos/stiffened_gas.h"
+#include "workload/cloud.h"
+
+int main(int argc, char** argv) {
+  using namespace mpcf;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 600;
+
+  Simulation::Params params;
+  params.extent = 2e-3;
+  params.bc.face[2][0] = BCType::kWall;  // solid wall at z = 0
+  Simulation sim(8, 8, 8, 8, params);    // 64^3
+
+  CloudParams cp;
+  cp.count = 8;
+  cp.r_min = 140e-6;  // >= 4.5 cells radius at h = 31 um: resolvable
+  cp.r_max = 300e-6;
+  cp.lognormal_mu = std::log(190e-6);
+  cp.box_lo = 0.2;
+  cp.box_hi = 0.7;  // cloud sits above the wall
+  const auto cloud = generate_cloud(cp, params.extent);
+  set_cloud_ic(sim.grid(), cloud, TwoPhaseIC{});
+
+  const double Gv = materials::kVapor.Gamma(), Gl = materials::kLiquid.Gamma();
+  const auto d0 = sim.diagnostics(Gv, Gl);
+
+  std::printf("# Figure 5 series: cloud of %zu bubbles above a wall, 64^3 cells\n",
+              cloud.size());
+  std::printf("# t[us]  max_p/p0  wall_p/p0  kinetic[J]  r_eq/r0\n");
+  double peak_field = 0, peak_wall = 0, peak_ke = 0;
+  double t_peak_field = 0, t_peak_wall = 0, t_peak_ke = 0;
+  for (int s = 0; s <= steps; ++s) {
+    const auto d = sim.diagnostics(Gv, Gl);
+    if (d.max_p_field > peak_field) {
+      peak_field = d.max_p_field;
+      t_peak_field = sim.time();
+    }
+    if (d.max_p_wall > peak_wall) {
+      peak_wall = d.max_p_wall;
+      t_peak_wall = sim.time();
+    }
+    if (d.kinetic_energy > peak_ke) {
+      peak_ke = d.kinetic_energy;
+      t_peak_ke = sim.time();
+    }
+    if (s % 10 == 0)
+      std::printf("%7.3f  %8.2f  %9.2f  %10.3e  %7.3f\n", sim.time() * 1e6,
+                  d.max_p_field / materials::kLiquidPressure,
+                  d.max_p_wall / materials::kLiquidPressure, d.kinetic_energy,
+                  d.equivalent_radius / d0.equivalent_radius);
+    if (s < steps) sim.step();
+  }
+
+  std::printf("\n# peaks: field %.1fx ambient at %.2f us; wall %.1fx at %.2f us;\n",
+              peak_field / materials::kLiquidPressure, t_peak_field * 1e6,
+              peak_wall / materials::kLiquidPressure, t_peak_wall * 1e6);
+  std::printf("#        kinetic energy max %.3e J at %.2f us\n", peak_ke, t_peak_ke * 1e6);
+  std::puts("# shape check (paper Fig. 5): pressure peaks exceed ambient by a");
+  std::puts("# large factor; the wall peak lags the field peak; the equivalent");
+  std::puts("# radius decays with a partial rebound.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9 reproduction: (left) weak scaling of the node-layer kernels —
+// in the paper GFLOP/s vs core count at fixed blocks per core; on this
+// single-core reproduction the worker axis is OpenMP threads over a
+// proportionally growing block set, which exercises the same scheduling
+// code (dynamic, one block per task) even when threads share a core —
+// GFLOP/s must stay ~flat per unit of work. (Right) the roofline placement
+// of the three kernels: RHS near the compute roof, DT mid-slope, UP pinned
+// to the memory roof.
+#include <omp.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "perf/microbench.h"
+#include "perf/oi_model.h"
+
+using namespace mpcf;
+using namespace mpcf::perf;
+
+int main() {
+  std::puts("=== Figure 9 (left): node-layer weak scaling (threads x blocks) ===");
+  std::printf("%-10s %10s %12s %14s\n", "threads", "blocks", "time/step", "Mcells/s");
+  const int bs = 16;
+  for (int threads : {1, 2, 4}) {
+    omp_set_num_threads(threads);
+    const int nbz = threads;  // blocks grow with the worker count
+    Simulation::Params params;
+    params.extent = 1e-3;
+    Simulation sim(2, 2, 2 * nbz, bs, params);
+    mpcf::bench::init_cloud_state(sim.grid(), 6);
+    sim.step();  // warm-up
+    sim.profile().reset();
+    const int steps = 2;
+    for (int s = 0; s < steps; ++s) sim.step();
+    const double t = sim.profile().total() / steps;
+    std::printf("%-10d %10d %10.3f s %14.2f\n", threads, sim.grid().block_count(), t,
+                sim.grid().cell_count() / t / 1e6);
+  }
+  omp_set_num_threads(1);
+  std::puts("(single physical core: threads time-share, so time/step grows with");
+  std::puts(" the block count while throughput per unit work stays ~flat — the");
+  std::puts(" scheduling overhead of the dynamic one-block granularity is small)");
+
+  std::puts("\n=== Figure 9 (right): kernels on the roofline ===");
+  const MachineModel& host = host_machine();
+  std::printf("host roofline: peak %.1f GFLOP/s, bw %.1f GB/s, ridge %.1f F/B\n",
+              host.peak_gflops, host.mem_bw_gbs, host.ridge_point());
+  std::printf("%-8s %12s %18s %14s\n", "kernel", "OI [F/B]", "attainable GF", "bound");
+  const KernelTraffic k[3] = {rhs_traffic(32), dt_traffic(32), up_traffic(32)};
+  const char* names[3] = {"RHS", "DT", "UP"};
+  for (int i = 0; i < 3; ++i) {
+    const double oi = k[i].oi_reordered();
+    std::printf("%-8s %12.2f %18.1f %14s\n", names[i], oi, host.attainable_gflops(oi),
+                oi > host.ridge_point() ? "compute" : "memory");
+  }
+  std::puts("\npaper Fig. 9: RHS and DT scale with cores; UP saturates early");
+  std::puts("(low FLOP/B); on the roofline the RHS sits right of the ridge.");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Google-benchmark microbenchmarks of the core kernels and primitives —
+// finer-grained companions to the table benches, useful for regression
+// tracking of the hot paths.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "grid/lab.h"
+#include "kernels/hlle.h"
+#include "kernels/sos.h"
+#include "kernels/update.h"
+#include "kernels/weno.h"
+#include "wavelet/interp_wavelet.h"
+
+namespace {
+
+using namespace mpcf;
+using namespace mpcf::kernels;
+
+struct BlockFixture {
+  Grid grid{2, 2, 2, 32, 1e-3};
+  BlockLab lab;
+  RhsWorkspace ws;
+  BlockFixture() {
+    mpcf::bench::init_cloud_state(grid);
+    lab.resize(32);
+    ws.resize(32);
+    lab.load(grid, 0, 0, 0, BoundaryConditions::all(BCType::kAbsorbing));
+  }
+};
+
+BlockFixture& fixture() {
+  static BlockFixture f;
+  return f;
+}
+
+void BM_RhsScalar(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state)
+    rhs_block(f.lab, static_cast<Real>(f.grid.h()), 0.0f, f.grid.block(0), f.ws,
+              KernelImpl::kScalar);
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(rhs_flops(32) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RhsScalar)->Unit(benchmark::kMillisecond);
+
+void BM_RhsSimdStaged(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state)
+    rhs_block(f.lab, static_cast<Real>(f.grid.h()), 0.0f, f.grid.block(0), f.ws,
+              KernelImpl::kSimd);
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(rhs_flops(32) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RhsSimdStaged)->Unit(benchmark::kMillisecond);
+
+void BM_RhsSimdFused(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state)
+    rhs_block(f.lab, static_cast<Real>(f.grid.h()), 0.0f, f.grid.block(0), f.ws,
+              KernelImpl::kSimdFused);
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(rhs_flops(32) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RhsSimdFused)->Unit(benchmark::kMillisecond);
+
+void BM_SosScalar(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(block_max_speed(f.grid.block(0)));
+}
+BENCHMARK(BM_SosScalar)->Unit(benchmark::kMicrosecond);
+
+void BM_SosSimd(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(block_max_speed_simd(f.grid.block(0)));
+}
+BENCHMARK(BM_SosSimd)->Unit(benchmark::kMicrosecond);
+
+void BM_Update(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) update_block_simd(f.grid.block(0), 1e-12f);
+}
+BENCHMARK(BM_Update)->Unit(benchmark::kMicrosecond);
+
+void BM_LabLoad(benchmark::State& state) {
+  auto& f = fixture();
+  const auto bc = BoundaryConditions::all(BCType::kAbsorbing);
+  for (auto _ : state) f.lab.load(f.grid, 0, 0, 0, bc);
+}
+BENCHMARK(BM_LabLoad)->Unit(benchmark::kMicrosecond);
+
+void BM_Weno5(benchmark::State& state) {
+  float q[8] = {1.0f, 1.2f, 0.9f, 1.5f, 1.1f, 0.8f, 1.3f, 1.0f};
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        weno5_minus(q[i & 3], q[(i + 1) & 7], q[(i + 2) & 7], q[(i + 3) & 7],
+                    q[(i + 4) & 7]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Weno5);
+
+void BM_Fwt32(benchmark::State& state) {
+  Field3D<float> cube(32, 32, 32);
+  for (int iz = 0; iz < 32; ++iz)
+    for (int iy = 0; iy < 32; ++iy)
+      for (int ix = 0; ix < 32; ++ix)
+        cube(ix, iy, iz) = static_cast<float>(std::sin(0.2 * ix) + 0.1 * iy);
+  for (auto _ : state) wavelet::forward_3d_simd(cube.view(), 3);
+}
+BENCHMARK(BM_Fwt32)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

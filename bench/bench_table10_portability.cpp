@@ -1,0 +1,69 @@
+// Table 10 analogue: performance portability. The paper compiles the QPX
+// kernels to SSE via macro conversion and reports 37-40% of peak for the
+// RHS on Cray XE6/XC30 nodes (vs 60%+ on BGQ, whose nominal peak does not
+// require AVX). We (a) measure our SSE kernels on the host and (b) project
+// each kernel onto the paper's machine models through the roofline using
+// the kernels' operational intensities.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "grid/lab.h"
+#include "kernels/sos.h"
+#include "kernels/update.h"
+#include "perf/microbench.h"
+#include "perf/oi_model.h"
+
+using namespace mpcf;
+using namespace mpcf::kernels;
+using namespace mpcf::perf;
+
+int main() {
+  const int bs = 32;
+  Grid grid(2, 2, 2, bs, 1e-3);
+  mpcf::bench::init_cloud_state(grid);
+  BlockLab lab;
+  lab.resize(bs);
+  RhsWorkspace ws;
+  ws.resize(bs);
+  lab.load(grid, 0, 0, 0, BoundaryConditions::all(BCType::kAbsorbing));
+
+  // Measured host kernel throughput (SSE path).
+  const double t_rhs = mpcf::bench::time_best_of([&] {
+    for (int i = 0; i < 4; ++i)
+      rhs_block(lab, static_cast<Real>(grid.h()), 0.0f, grid.block(0), ws,
+                KernelImpl::kSimdFused);
+  });
+  volatile double sink = 0;
+  const double t_dt = mpcf::bench::time_best_of([&] {
+    for (int i = 0; i < 64; ++i) sink = block_max_speed_simd(grid.block(0));
+  });
+  (void)sink;
+  const double t_up = mpcf::bench::time_best_of([&] {
+    for (int i = 0; i < 16; ++i)
+      for (int b = 0; b < grid.block_count(); ++b) update_block_simd(grid.block(b), 1e-12f);
+  });
+  const double rhs_gf = 4 * rhs_flops(bs) / t_rhs / 1e9;
+  const double dt_gf = 64 * sos_flops(bs) / t_dt / 1e9;
+  const double up_gf = 16 * grid.block_count() * update_flops(bs) / t_up / 1e9;
+
+  const MachineModel& host = host_machine();
+  std::puts("=== Table 10 analogue: performance portability ===");
+  std::printf("measured on %-22s %8s %8s %8s\n", host.name.c_str(), "RHS", "DT", "UP");
+  std::printf("%-34s %8.2f %8.2f %8.2f\n", "GFLOP/s (SSE kernels)", rhs_gf, dt_gf, up_gf);
+  std::printf("%-34s %7.1f%% %7.1f%% %7.1f%%\n", "% of peak", 100 * rhs_gf / host.peak_gflops,
+              100 * dt_gf / host.peak_gflops, 100 * up_gf / host.peak_gflops);
+
+  std::puts("\nroofline projection of our kernel intensities onto the paper's nodes:");
+  const KernelTraffic rhs = rhs_traffic(bs), dt = dt_traffic(bs), up = up_traffic(bs);
+  std::printf("%-24s %10s %10s %10s\n", "machine", "RHS", "DT", "UP");
+  for (const MachineModel* m : {&kBqc, &kMonteRosaNode, &kPizDaintNode, &host}) {
+    std::printf("%-24s %7.0f GF %7.0f GF %7.0f GF\n", m->name.c_str(),
+                m->attainable_gflops(rhs.oi_reordered()),
+                m->attainable_gflops(dt.oi_reordered()),
+                m->attainable_gflops(up.oi_reordered()));
+  }
+  std::puts("\npaper Table 10: Piz Daint 269/118/13 GFLOP/s (40/18/2% of peak),");
+  std::puts("Monte Rosa 201/86/10 (37/16/2%): the SSE build cannot reach the AVX");
+  std::puts("nominal peak, but the kernel ranking RHS >> DT >> UP is preserved.");
+  return 0;
+}

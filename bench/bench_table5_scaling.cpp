@@ -1,0 +1,81 @@
+// Table 5 analogue: achieved fraction of peak per kernel as the simulated
+// cluster grows (weak scaling: constant blocks per rank). The paper reports
+// RHS 60/57/55 %, DT 7/5/5 %, UP 2/2/2 %, ALL 53/51/50 % at 1/24/96 racks —
+// near-flat RHS scaling with a slow communication-driven decay. Here the
+// ranks are simulated in-process, so "peak" is the measured host core peak
+// and the rank axis exercises the real cluster-layer code paths (halo
+// messages, collectives, halo/interior split).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/cluster_simulation.h"
+#include "kernels/sos.h"
+#include "kernels/update.h"
+#include "perf/microbench.h"
+
+using namespace mpcf;
+using namespace mpcf::cluster;
+
+namespace {
+
+struct Result {
+  double rhs_pct, dt_pct, up_pct, all_pct, gflops;
+  std::uint64_t msg_bytes;
+};
+
+Result run(int rr, int bs, int blocks_per_rank_axis) {
+  const int gba = rr * blocks_per_rank_axis;
+  Simulation::Params params;
+  params.extent = 1e-3 * rr;
+  ClusterSimulation cs(gba, blocks_per_rank_axis, blocks_per_rank_axis, bs,
+                       CartTopology(rr, 1, 1), params);
+  for (int r = 0; r < cs.rank_count(); ++r)
+    mpcf::bench::init_cloud_state(cs.rank_sim(r).grid(), 4, 42 + r);
+
+  const int steps = 6;
+  for (int s = 0; s < steps; ++s) cs.step();
+
+  const StepProfile prof = cs.profile();
+  double flops_rhs = 0, flops_dt = 0, flops_up = 0;
+  for (int r = 0; r < cs.rank_count(); ++r) {
+    const double per_step = cs.rank_sim(r).flops_per_step();
+    const int nb = cs.rank_sim(r).grid().block_count();
+    flops_dt += steps * nb * kernels::sos_flops(bs);
+    flops_up += steps * LsRk3::kStages * nb * kernels::update_flops(bs);
+    flops_rhs += steps * per_step - steps * nb * kernels::sos_flops(bs) -
+                 steps * LsRk3::kStages * nb * kernels::update_flops(bs);
+  }
+  const double peak = perf::host_machine().peak_gflops * 1e9;
+  Result res;
+  res.rhs_pct = 100.0 * flops_rhs / prof.rhs / peak;
+  res.dt_pct = 100.0 * flops_dt / prof.dt / peak;
+  res.up_pct = 100.0 * flops_up / prof.up / peak;
+  const double total_time = prof.total() + cs.comm_time();
+  res.all_pct = 100.0 * (flops_rhs + flops_dt + flops_up) / total_time / peak;
+  res.gflops = (flops_rhs + flops_dt + flops_up) / total_time / 1e9;
+  res.msg_bytes = cs.comm().stats().bytes;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Table 5 analogue: achieved performance, weak scaling over ranks ===");
+  std::printf("(blocks per rank fixed; host peak %.1f GFLOP/s)\n\n",
+              perf::host_machine().peak_gflops);
+  std::printf("%-10s %8s %8s %8s %8s %10s %12s\n", "ranks", "RHS", "DT", "UP", "ALL",
+              "GFLOP/s", "halo MB/step");
+  for (int rr : {1, 2, 4, 8}) {
+    const Result r = run(rr, 16, 2);
+    std::printf("%-10d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %10.2f %12.2f\n", rr, r.rhs_pct,
+                r.dt_pct, r.up_pct, r.all_pct, r.gflops,
+                r.msg_bytes / 6.0 / 1e6);  // per step (6 steps)
+  }
+  std::puts("\npaper Table 5 (BGQ racks):   RHS      DT      UP     ALL");
+  std::puts("  1 rack                     60%      7%      2%     53%");
+  std::puts(" 24 racks                    57%      5%      2%     51%");
+  std::puts(" 96 racks                    55%      5%      2%     50%");
+  std::puts("\nShape check: RHS dominates and stays near-flat with rank count;");
+  std::puts("DT is low (reduction-bound), UP is memory-bound at a few percent.");
+  return 0;
+}

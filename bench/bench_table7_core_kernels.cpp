@@ -1,0 +1,112 @@
+// Table 7 analogue: core-layer kernel throughput, plain C++ (scalar float)
+// vs explicit 4-wide SIMD (the paper's QPX column, here SSE). The paper
+// reports RHS 2.21 -> 8.27 GFLOP/s (3.7X), DT 0.90 -> 1.96 (2.2X), UP flat
+// (memory-bound), FWT 0.40 -> 1.29 (3.2X). The structure to reproduce:
+// explicit vectorization radically helps every kernel except UP.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "grid/lab.h"
+#include "kernels/sos.h"
+#include "kernels/update.h"
+#include "perf/microbench.h"
+#include "wavelet/interp_wavelet.h"
+
+using namespace mpcf;
+using namespace mpcf::kernels;
+
+int main() {
+  const int bs = 32;
+  Grid grid(2, 2, 2, bs, 1e-3);
+  mpcf::bench::init_cloud_state(grid);
+
+  BlockLab lab;
+  lab.resize(bs);
+  RhsWorkspace ws;
+  ws.resize(bs);
+  const auto bc = BoundaryConditions::all(BCType::kAbsorbing);
+  lab.load(grid, 0, 0, 0, bc);
+
+  const double peak = perf::host_machine().peak_gflops;
+  struct Row {
+    const char* name;
+    double scalar_gf, simd_gf;
+  };
+  std::vector<Row> rows;
+
+  // RHS: scalar vs fused SIMD over one block, repeated.
+  {
+    const int reps = 4;
+    const double flops = rhs_flops(bs) * reps;
+    const double ts = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i)
+        rhs_block(lab, static_cast<Real>(grid.h()), 0.0f, grid.block(0), ws,
+                  KernelImpl::kScalar);
+    });
+    const double tv = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i)
+        rhs_block(lab, static_cast<Real>(grid.h()), 0.0f, grid.block(0), ws,
+                  KernelImpl::kSimdFused);
+    });
+    rows.push_back({"RHS", flops / ts / 1e9, flops / tv / 1e9});
+  }
+
+  // DT (SOS reduction).
+  {
+    const int reps = 64;
+    const double flops = sos_flops(bs) * reps;
+    volatile double sink = 0;
+    const double ts = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i) sink = block_max_speed(grid.block(0));
+    });
+    const double tv = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i) sink = block_max_speed_simd(grid.block(0));
+    });
+    (void)sink;
+    rows.push_back({"DT", flops / ts / 1e9, flops / tv / 1e9});
+  }
+
+  // UP (streaming axpy) — use all 8 blocks so the working set exceeds L2.
+  {
+    const int reps = 16;
+    const double flops = update_flops(bs) * grid.block_count() * reps;
+    const double ts = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i)
+        for (int b = 0; b < grid.block_count(); ++b) update_block(grid.block(b), 1e-12f);
+    });
+    const double tv = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i)
+        for (int b = 0; b < grid.block_count(); ++b)
+          update_block_simd(grid.block(b), 1e-12f);
+    });
+    rows.push_back({"UP", flops / ts / 1e9, flops / tv / 1e9});
+  }
+
+  // FWT (forward wavelet transform of a block-sized cube).
+  {
+    const int levels = wavelet::max_levels(bs);
+    const int reps = 32;
+    Field3D<float> cube(bs, bs, bs);
+    for (int iz = 0; iz < bs; ++iz)
+      for (int iy = 0; iy < bs; ++iy)
+        for (int ix = 0; ix < bs; ++ix) cube(ix, iy, iz) = grid.cell(ix, iy, iz).rho;
+    const double flops = wavelet::fwt_flops(bs, levels) * reps;
+    const double ts = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i) wavelet::forward_3d(cube.view(), levels);
+    });
+    const double tv = mpcf::bench::time_best_of([&] {
+      for (int i = 0; i < reps; ++i) wavelet::forward_3d_simd(cube.view(), levels);
+    });
+    rows.push_back({"FWT", flops / ts / 1e9, flops / tv / 1e9});
+  }
+
+  std::puts("=== Table 7 analogue: core-layer kernel performance ===");
+  std::printf("%-8s %14s %14s %10s %12s\n", "kernel", "C++ GFLOP/s", "SIMD GFLOP/s",
+              "speedup", "% of peak");
+  for (const auto& r : rows)
+    std::printf("%-8s %14.2f %14.2f %9.1fX %11.1f%%\n", r.name, r.scalar_gf, r.simd_gf,
+                r.simd_gf / r.scalar_gf, 100.0 * r.simd_gf / peak);
+  std::puts("\npaper Table 7: RHS 3.7X, DT 2.2X, UP ~1X, FWT 3.2X from QPX;");
+  std::puts("RHS reaches 65% of peak, UP stays at 2% (memory-bound).");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "core/simulation.h"
+#include "eos/stiffened_gas.h"
+#include "workload/cloud.h"
+
+namespace mpcf::bench {
+
+/// Fills a grid with the production-style two-phase cloud state.
+inline void init_cloud_state(Grid& grid, int bubbles = 8, std::uint64_t seed = 42) {
+  CloudParams cp;
+  cp.count = bubbles;
+  cp.seed = seed;
+  const double extent = grid.h() * grid.cells_x();
+  cp.r_min = 0.03 * extent;
+  cp.r_max = 0.12 * extent;
+  cp.lognormal_mu = std::log(0.06 * extent);
+  cp.box_lo = 0.15;
+  cp.box_hi = 0.85;
+  const auto cloud = generate_cloud(cp, extent);
+  set_cloud_ic(grid, cloud, TwoPhaseIC{});
+}
+
+/// Median-of-3 wall-clock of a callable.
+template <typename F>
+double time_best_of(F&& f, int repeats = 3) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    Timer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+inline void print_rule() {
+  std::puts("--------------------------------------------------------------------------");
+}
+
+}  // namespace mpcf::bench

@@ -1,0 +1,85 @@
+// Wavelet compression pipeline demo (paper Section 5, Fig. 3): compresses
+// the Gamma and pressure fields of a bubble-cloud snapshot across a sweep of
+// decimation thresholds, reporting compression rate, measured L-inf error
+// and the pipeline stage times — the trade-off the paper exploits to cut
+// I/O footprint 10-100x.
+//
+//   ./example_compression_demo
+#include <cmath>
+#include <cstdio>
+
+#include "compression/compressor.h"
+#include "eos/stiffened_gas.h"
+#include "workload/cloud.h"
+
+namespace {
+
+using namespace mpcf;
+
+double linf_error(const Grid& g, const Field3D<float>& f, int quantity) {
+  double err = 0;
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < g.cells_x(); ++ix)
+        err = std::max(err, std::fabs(double(f(ix, iy, iz)) -
+                                      g.cell(ix, iy, iz).q(quantity)));
+  return err;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpcf;
+  Grid grid(4, 4, 4, 16, 2e-3);  // 64^3
+  CloudParams cp;
+  cp.count = 15;
+  cp.r_min = 60e-6;
+  cp.r_max = 250e-6;
+  const auto bubbles = generate_cloud(cp, 2e-3);
+  set_cloud_ic(grid, bubbles, TwoPhaseIC{});
+
+  std::printf("# Gamma field (range ~2.3), uniform thresholds\n");
+  std::printf("# eps        rate     Linf_err   dec[ms]  enc[ms]\n");
+  for (float eps : {0.0f, 1e-4f, 1e-3f, 1e-2f, 1e-1f}) {
+    compression::CompressionParams p;
+    p.eps = eps;
+    p.quantity = Q_G;
+    std::vector<compression::WorkerTimes> times;
+    const auto cq = compress_quantity(grid, p, &times);
+    const auto field = decompress_to_field(cq);
+    double dec = 0, enc = 0;
+    for (const auto& t : times) {
+      dec += t.dec;
+      enc += t.enc;
+    }
+    std::printf("%8.1e  %7.1f  %9.2e  %7.2f  %7.2f\n", eps, cq.compression_rate(),
+                linf_error(grid, field, Q_G), dec * 1e3, enc * 1e3);
+  }
+
+  std::printf("\n# guaranteed mode: error provably below eps\n");
+  std::printf("# eps        rate     Linf_err   bound_ok\n");
+  for (float eps : {1e-3f, 1e-2f, 1e-1f}) {
+    compression::CompressionParams p;
+    p.eps = eps;
+    p.mode = wavelet::ThresholdMode::kGuaranteed;
+    p.quantity = Q_G;
+    const auto cq = compress_quantity(grid, p);
+    const auto field = decompress_to_field(cq);
+    const double err = linf_error(grid, field, Q_G);
+    std::printf("%8.1e  %7.1f  %9.2e  %s\n", eps, cq.compression_rate(), err,
+                err <= eps ? "yes" : "NO");
+  }
+
+  std::printf("\n# derived pressure field (range ~1e7 Pa)\n");
+  std::printf("# eps        rate\n");
+  for (float eps : {1e3f, 1e4f, 1e5f}) {
+    compression::CompressionParams p;
+    p.eps = eps;
+    p.derive_pressure = true;
+    const auto cq = compress_quantity(grid, p);
+    std::printf("%8.1e  %7.1f\n", eps, cq.compression_rate());
+  }
+  std::printf("\n# paper: Gamma 100-150:1 at eps=1e-3, pressure 10-20:1 at 1e-2\n");
+  std::printf("# (absolute rates grow with grid size; see EXPERIMENTS.md)\n");
+  return 0;
+}

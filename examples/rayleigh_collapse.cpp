@@ -1,0 +1,89 @@
+// Single-bubble Rayleigh collapse — the physics validation the cavitation
+// literature is built on (paper Section 2, refs [61, 25, 35]).
+//
+// A single vapor bubble in pressurized liquid collapses on the Rayleigh
+// time  tau = 0.915 R sqrt(rho_l / dp).  The example tracks the equivalent
+// radius R(t) and compares the measured collapse time (first minimum of the
+// vapor volume) against the theory — agreement within tens of percent at
+// this resolution confirms the two-phase coupling end to end.
+//
+//   ./example_rayleigh_collapse [points_per_radius]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simulation.h"
+#include "eos/stiffened_gas.h"
+#include "physics/bubble_ode.h"
+#include "workload/cloud.h"
+
+int main(int argc, char** argv) {
+  using namespace mpcf;
+  const int ppr = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  const double R0 = 0.2e-3;
+  const double extent = 5.0 * R0;
+  const int cells = std::max(32, 2 * ((5 * ppr + 7) / 8) * 4);
+  const int bs = 8;
+  const int blocks = (cells + bs - 1) / bs;
+
+  Simulation::Params params;
+  params.extent = extent;
+  Simulation sim(blocks, blocks, blocks, bs, params);
+  std::printf("# grid %d^3, %.1f points per radius\n", blocks * bs,
+              R0 / sim.grid().h());
+
+  std::vector<Bubble> one{Bubble{extent / 2, extent / 2, extent / 2, R0}};
+  set_cloud_ic(sim.grid(), one, TwoPhaseIC{});
+
+  const double Gv = materials::kVapor.Gamma(), Gl = materials::kLiquid.Gamma();
+  const double dp = materials::kLiquidPressure - materials::kVaporPressure;
+  const double tau = 0.915 * R0 * std::sqrt(materials::kLiquidDensity / dp);
+  std::printf("# Rayleigh time tau = %.3f us\n", tau * 1e6);
+
+  // ODE baselines (paper Section 2: the single-bubble theory the 3-D
+  // simulations are positioned against).
+  physics::BubbleOdeParams ode;
+  ode.R0 = R0;
+  ode.p_liquid = materials::kLiquidPressure;
+  ode.p_bubble0 = materials::kVaporPressure;
+  const auto rp = physics::integrate_bubble(ode, physics::BubbleModel::kRayleighPlesset,
+                                            1.6 * tau, tau / 100000.0, 0.05, 500);
+  const auto km = physics::integrate_bubble(ode, physics::BubbleModel::kKellerMiksis,
+                                            1.6 * tau, tau / 100000.0, 0.05, 500);
+  auto ode_radius_at = [](const std::vector<physics::BubbleState>& traj, double t) {
+    for (const auto& s : traj)
+      if (s.t >= t) return s.R;
+    return traj.back().R;
+  };
+
+  std::printf("# time[us]  R/R0 (3D)  R/R0 (RP)  R/R0 (KM)  max_p[bar]\n");
+  double min_vol = 1e300, t_collapse = 0;
+  const auto d0 = sim.diagnostics(Gv, Gl);
+  while (sim.time() < 1.6 * tau) {
+    sim.step();
+    const auto d = sim.diagnostics(Gv, Gl);
+    if (d.vapor_volume < min_vol) {
+      min_vol = d.vapor_volume;
+      t_collapse = sim.time();
+    }
+    if (sim.step_count() % 20 == 0)
+      std::printf("%9.4f  %9.3f  %9.3f  %9.3f  %10.1f\n", sim.time() * 1e6,
+                  d.equivalent_radius / d0.equivalent_radius,
+                  ode_radius_at(rp, sim.time()) / R0, ode_radius_at(km, sim.time()) / R0,
+                  d.max_p_field / 1e5);
+  }
+
+  std::printf("\n# measured collapse time: %.3f us (%.2f tau)\n", t_collapse * 1e6,
+              t_collapse / tau);
+  std::printf("# ODE baselines: Rayleigh-Plesset collapse at %.2f tau, "
+              "Keller-Miksis at %.2f tau\n",
+              physics::first_collapse_time(rp) / tau,
+              physics::first_collapse_time(km) / tau);
+  std::printf("# volume at collapse: %.1f%% of initial\n",
+              100.0 * min_vol / d0.vapor_volume);
+  std::puts("# The 3-D solver tracks the theory through the bulk of the collapse;");
+  std::puts("# at a few points-per-radius the diffuse interface departs in the");
+  std::puts("# final stage (paper production runs use 50+ p.p.r.).");
+  return 0;
+}

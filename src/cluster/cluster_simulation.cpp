@@ -1,0 +1,332 @@
+#include "cluster/cluster_simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcf::cluster {
+
+namespace {
+
+/// Message tags encode axis and the receiver-side of the face.
+int tag_of(int axis, int receiver_side) { return axis * 2 + receiver_side; }
+
+}  // namespace
+
+ClusterSimulation::ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopology topo,
+                                     Simulation::Params params)
+    : topo_(topo), comm_(topo.size()), bs_(bs), gbx_(gbx), gby_(gby), gbz_(gbz),
+      global_bc_(params.bc) {
+  require(gbx % topo.rx == 0 && gby % topo.ry == 0 && gbz % topo.rz == 0,
+          "ClusterSimulation: block grid must divide evenly across ranks");
+  for (int a = 0; a < 3; ++a)
+    require(global_bc_.face[a][0] != BCType::kPeriodic ||
+                global_bc_.face[a][1] == BCType::kPeriodic,
+            "ClusterSimulation: periodic BCs must be two-sided");
+
+  const int lbx = gbx / topo.rx, lby = gby / topo.ry, lbz = gbz / topo.rz;
+  const double rank_extent = params.extent * lbx / gbx;
+
+  sims_.reserve(topo.size());
+  boxes_.resize(topo.size());
+  interior_.resize(topo.size());
+  halo_.resize(topo.size());
+  halo_slabs_.resize(topo.size());
+
+  for (int r = 0; r < topo.size(); ++r) {
+    int cx, cy, cz;
+    topo.coords(r, cx, cy, cz);
+    boxes_[r] = RankBox{cx * lbx * bs, cy * lby * bs, cz * lbz * bs,
+                        lbx * bs, lby * bs, lbz * bs};
+
+    // Rank-local BCs: global BCs survive only on faces that lie on the
+    // global boundary (used by the wall diagnostics); interior faces are
+    // fully served by halo data, never by local folding.
+    Simulation::Params rp = params;
+    rp.extent = rank_extent;
+    const int coords[3] = {cx, cy, cz};
+    const int extents[3] = {topo.rx, topo.ry, topo.rz};
+    for (int a = 0; a < 3; ++a) {
+      if (coords[a] != 0) rp.bc.face[a][0] = BCType::kAbsorbing;
+      if (coords[a] != extents[a] - 1) rp.bc.face[a][1] = BCType::kAbsorbing;
+    }
+    sims_.push_back(std::make_unique<Simulation>(lbx, lby, lbz, bs, rp));
+    sims_[r]->set_ghost_override([this, r](int lx, int ly, int lz, Cell& c) {
+      const RankBox& box = boxes_[r];
+      return fetch_remote(r, lx + box.ox, ly + box.oy, lz + box.oz, c);
+    });
+
+    // Halo/interior split of the local blocks.
+    const bool periodic[3] = {global_bc_.face[0][0] == BCType::kPeriodic,
+                              global_bc_.face[1][0] == BCType::kPeriodic,
+                              global_bc_.face[2][0] == BCType::kPeriodic};
+    const Grid& g = sims_[r]->grid();
+    for (int i = 0; i < g.block_count(); ++i) {
+      int bxc, byc, bzc;
+      g.indexer().coords(i, bxc, byc, bzc);
+      const int bcoord[3] = {bxc, byc, bzc};
+      const int bext[3] = {lbx, lby, lbz};
+      bool is_halo = false;
+      for (int a = 0; a < 3 && !is_halo; ++a) {
+        if (bcoord[a] == 0 && topo_.neighbor(r, a, 0, periodic[a]) >= 0) is_halo = true;
+        if (bcoord[a] == bext[a] - 1 && topo_.neighbor(r, a, 1, periodic[a]) >= 0)
+          is_halo = true;
+      }
+      (is_halo ? halo_[r] : interior_[r]).push_back(i);
+    }
+  }
+}
+
+bool ClusterSimulation::fetch_remote(int rank, int gx, int gy, int gz, Cell& out) const {
+  const RankBox& box = boxes_[rank];
+  const int gext[3] = {gbx_ * bs_, gby_ * bs_, gbz_ * bs_};
+  int c[3] = {gx, gy, gz};
+  Real sign[3] = {1, 1, 1};
+
+  // Fold absorbing/wall axes through the *global* boundary (the folded cell
+  // always lands within 3 layers of that boundary, i.e. inside the
+  // requesting rank for that axis). Periodic axes stay unfolded: the wrap is
+  // realized by the halo slabs filled from the periodic neighbour.
+  for (int a = 0; a < 3; ++a) {
+    if (c[a] >= 0 && c[a] < gext[a]) continue;
+    if (global_bc_.face[a][0] == BCType::kPeriodic) continue;
+    const FoldedIndex f = fold_index(c[a], gext[a], global_bc_, a);
+    c[a] = f.i;
+    sign[a] = f.mom_sign;
+  }
+
+  // Per-axis deviation from the rank box.
+  const int lo[3] = {box.ox, box.oy, box.oz};
+  const int n[3] = {box.nx, box.ny, box.nz};
+  int dev_axis = -1, dev_side = -1;
+  int ndev = 0;
+  for (int a = 0; a < 3; ++a) {
+    if (c[a] < lo[a]) {
+      ++ndev;
+      dev_axis = a;
+      dev_side = 0;
+    } else if (c[a] >= lo[a] + n[a]) {
+      ++ndev;
+      dev_axis = a;
+      dev_side = 1;
+    }
+  }
+
+  const Grid& g = sims_[rank]->grid();
+  const bool folded = sign[0] < 0 || sign[1] < 0 || sign[2] < 0 || c[0] != gx ||
+                      c[1] != gy || c[2] != gz;
+
+  if (ndev == 0) {
+    if (!folded) return false;  // plain intra-rank ghost: local path handles it
+    out = g.cell(c[0] - lo[0], c[1] - lo[1], c[2] - lo[2]);
+    out.ru *= sign[0];
+    out.rv *= sign[1];
+    out.rw *= sign[2];
+    return true;
+  }
+
+  if (ndev == 1) {
+    const auto& slab = halo_slabs_[rank][dev_axis * 2 + dev_side];
+    if (!slab.empty()) {
+      // Slab-local coordinates: the deviating axis indexes the 3 layers.
+      int sc[3] = {c[0] - lo[0], c[1] - lo[1], c[2] - lo[2]};
+      sc[dev_axis] = dev_side == 0 ? c[dev_axis] - (lo[dev_axis] - kGhosts)
+                                   : c[dev_axis] - (lo[dev_axis] + n[dev_axis]);
+      int dims[3] = {n[0], n[1], n[2]};
+      dims[dev_axis] = kGhosts;
+      const std::size_t idx =
+          sc[0] + static_cast<std::size_t>(dims[0]) * (sc[1] + static_cast<std::size_t>(dims[1]) * sc[2]);
+      out = slab[idx];
+      out.ru *= sign[0];
+      out.rv *= sign[1];
+      out.rw *= sign[2];
+      return true;
+    }
+  }
+
+  // Edge/corner ghosts (never read by the axis-aligned WENO sweeps) and
+  // pre-exchange fetches: clamp into the rank box for a physically valid
+  // placeholder.
+  int cc[3];
+  for (int a = 0; a < 3; ++a) cc[a] = std::clamp(c[a], lo[a], lo[a] + n[a] - 1);
+  out = g.cell(cc[0] - lo[0], cc[1] - lo[1], cc[2] - lo[2]);
+  out.ru *= sign[0];
+  out.rv *= sign[1];
+  out.rw *= sign[2];
+  return true;
+}
+
+void ClusterSimulation::exchange_halos() {
+  Timer timer;
+  const bool periodic[3] = {global_bc_.face[0][0] == BCType::kPeriodic,
+                            global_bc_.face[1][0] == BCType::kPeriodic,
+                            global_bc_.face[2][0] == BCType::kPeriodic};
+
+  // Post all sends (non-blocking in the paper; enqueued here).
+  for (int r = 0; r < topo_.size(); ++r) {
+    const Grid& g = sims_[r]->grid();
+    const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
+    for (int a = 0; a < 3; ++a)
+      for (int s = 0; s < 2; ++s) {
+        const int nr = topo_.neighbor(r, a, s, periodic[a]);
+        if (nr < 0) continue;
+        // Pack this rank's boundary layers on side s of axis a.
+        int dims[3] = {n[0], n[1], n[2]};
+        dims[a] = kGhosts;
+        std::vector<float> msg(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2] *
+                               kNumQuantities);
+        std::size_t o = 0;
+        for (int k = 0; k < dims[2]; ++k)
+          for (int j = 0; j < dims[1]; ++j)
+            for (int i = 0; i < dims[0]; ++i) {
+              int lc[3] = {i, j, k};
+              lc[a] = s == 0 ? lc[a] : n[a] - kGhosts + lc[a];
+              const Cell& cell = g.cell(lc[0], lc[1], lc[2]);
+              for (int q = 0; q < kNumQuantities; ++q) msg[o++] = cell.q(q);
+            }
+        // The receiver sees this data on its side (1-s) of axis a.
+        comm_.send(r, nr, tag_of(a, 1 - s), std::move(msg));
+      }
+  }
+
+  // Complete all receives.
+  for (int r = 0; r < topo_.size(); ++r) {
+    const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
+    for (int a = 0; a < 3; ++a)
+      for (int s = 0; s < 2; ++s) {
+        const int nr = topo_.neighbor(r, a, s, periodic[a]);
+        if (nr < 0) continue;
+        const std::vector<float> msg = comm_.recv(nr, r, tag_of(a, s));
+        int dims[3] = {n[0], n[1], n[2]};
+        dims[a] = kGhosts;
+        auto& slab = halo_slabs_[r][a * 2 + s];
+        slab.resize(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2]);
+        require(msg.size() == slab.size() * kNumQuantities,
+                "exchange_halos: message size mismatch");
+        std::size_t o = 0;
+        for (auto& cell : slab)
+          for (int q = 0; q < kNumQuantities; ++q) cell.q(q) = msg[o++];
+      }
+  }
+  comm_time_ += timer.seconds();
+}
+
+double ClusterSimulation::compute_dt() {
+  std::vector<double> vmax(topo_.size());
+  for (int r = 0; r < topo_.size(); ++r) {
+    const double dt_r = sims_[r]->compute_dt();
+    vmax[r] = sims_[r]->params().cfl * sims_[r]->grid().h() / dt_r;
+  }
+  const double gmax = comm_.allreduce_max(vmax);
+  return sims_[0]->params().cfl * sims_[0]->grid().h() / gmax;
+}
+
+void ClusterSimulation::advance(double dt) {
+  for (int s = 0; s < LsRk3::kStages; ++s) {
+    exchange_halos();
+    // Interior blocks run "while halo messages are in flight".
+    for (int r = 0; r < topo_.size(); ++r)
+      sims_[r]->evaluate_rhs(LsRk3::a[s], &interior_[r]);
+    for (int r = 0; r < topo_.size(); ++r)
+      sims_[r]->evaluate_rhs(LsRk3::a[s], &halo_[r]);
+    for (int r = 0; r < topo_.size(); ++r) sims_[r]->update(LsRk3::b[s] * dt);
+  }
+  for (int r = 0; r < topo_.size(); ++r)
+    if (sims_[r]->params().rho_floor > 0 || sims_[r]->params().p_floor > 0)
+      sims_[r]->apply_positivity_guard();
+  time_ += dt;
+  ++steps_;
+}
+
+double ClusterSimulation::step() {
+  const double dt = compute_dt();
+  advance(dt);
+  return dt;
+}
+
+void ClusterSimulation::gather(Grid& global) const {
+  require(global.cells_x() == gbx_ * bs_ && global.cells_y() == gby_ * bs_ &&
+              global.cells_z() == gbz_ * bs_,
+          "gather: global grid shape mismatch");
+  for (int r = 0; r < topo_.size(); ++r) {
+    const RankBox& box = boxes_[r];
+    const Grid& g = sims_[r]->grid();
+    for (int iz = 0; iz < box.nz; ++iz)
+      for (int iy = 0; iy < box.ny; ++iy)
+        for (int ix = 0; ix < box.nx; ++ix)
+          global.cell(box.ox + ix, box.oy + iy, box.oz + iz) = g.cell(ix, iy, iz);
+  }
+}
+
+Diagnostics ClusterSimulation::diagnostics(double G_vapor, double G_liquid) const {
+  Diagnostics total;
+  for (int r = 0; r < topo_.size(); ++r) {
+    const Diagnostics d = sims_[r]->diagnostics(G_vapor, G_liquid);
+    total.max_p_field = std::max(total.max_p_field, d.max_p_field);
+    total.max_p_wall = std::max(total.max_p_wall, d.max_p_wall);
+    total.kinetic_energy += d.kinetic_energy;
+    total.total_energy += d.total_energy;
+    total.mass += d.mass;
+    total.vapor_volume += d.vapor_volume;
+  }
+  total.equivalent_radius = std::cbrt(3.0 * total.vapor_volume / (4.0 * M_PI));
+  return total;
+}
+
+compression::CompressedQuantity ClusterSimulation::compress_collective(
+    const compression::CompressionParams& params,
+    std::vector<compression::WorkerTimes>* times) {
+  compression::CompressedQuantity global;
+  global.bx = gbx_;
+  global.by = gby_;
+  global.bz = gbz_;
+  global.block_size = bs_;
+  global.eps = params.eps;
+  global.derived_pressure = params.derive_pressure;
+  global.quantity = params.quantity;
+
+  const BlockIndexer gindex(gbx_, gby_, gbz_);
+  std::vector<std::uint64_t> rank_bytes(topo_.size());
+  if (times) times->clear();
+
+  for (int r = 0; r < topo_.size(); ++r) {
+    std::vector<compression::WorkerTimes> rank_times;
+    auto cq = compression::compress_quantity(sims_[r]->grid(), params,
+                                             times ? &rank_times : nullptr);
+    global.levels = cq.levels;
+    int cx, cy, cz;
+    topo_.coords(r, cx, cy, cz);
+    const int obx = cx * (gbx_ / topo_.rx), oby = cy * (gby_ / topo_.ry),
+              obz = cz * (gbz_ / topo_.rz);
+    const BlockIndexer lindex(gbx_ / topo_.rx, gby_ / topo_.ry, gbz_ / topo_.rz);
+    for (auto& stream : cq.streams) {
+      for (auto& id : stream.block_ids) {
+        int lx, ly, lz;
+        lindex.coords(static_cast<int>(id), lx, ly, lz);
+        id = static_cast<std::uint32_t>(gindex.linear(obx + lx, oby + ly, obz + lz));
+      }
+      rank_bytes[r] += stream.data.size();
+      global.streams.push_back(std::move(stream));
+    }
+    if (times) times->insert(times->end(), rank_times.begin(), rank_times.end());
+  }
+  // The collective write orders rank blobs by the exclusive prefix sum of
+  // their encoded sizes (the MPI_Exscan of the paper); the file writer
+  // applies the same discipline over the concatenated streams.
+  (void)comm_.exscan(rank_bytes);
+  return global;
+}
+
+StepProfile ClusterSimulation::profile() const {
+  StepProfile total;
+  for (int r = 0; r < topo_.size(); ++r) {
+    const StepProfile& p = sims_[r]->profile();
+    total.rhs += p.rhs;
+    total.dt += p.dt;
+    total.up += p.up;
+    total.io += p.io;
+  }
+  total.steps = steps_;
+  return total;
+}
+
+}  // namespace mpcf::cluster

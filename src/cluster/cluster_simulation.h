@@ -1,0 +1,93 @@
+// Cluster-layer simulation (paper Section 6): the global domain is split
+// into cartesian subdomains, one per (simulated) rank. Each rank runs a
+// node-layer Simulation on its subgrid; ghost information crosses rank
+// boundaries as six face-slab messages of three cell layers per Runge-Kutta
+// stage, and blocks are split into halo and interior sets so the interior
+// can be dispatched while messages are "in flight" (the overlap structure of
+// the paper, executed sequentially here — see DESIGN.md substitutions).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "cluster/sim_comm.h"
+#include "cluster/topology.h"
+#include "compression/compressor.h"
+#include "core/simulation.h"
+
+namespace mpcf::cluster {
+
+class ClusterSimulation {
+ public:
+  /// Global grid of gbx*gby*gbz blocks of bs^3 cells, decomposed across a
+  /// topo.rx*topo.ry*topo.rz rank topology (block counts must divide evenly).
+  ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopology topo,
+                    Simulation::Params params);
+
+  [[nodiscard]] int rank_count() const noexcept { return topo_.size(); }
+  [[nodiscard]] Simulation& rank_sim(int r) { return *sims_[r]; }
+  [[nodiscard]] const CartTopology& topology() const noexcept { return topo_; }
+  [[nodiscard]] SimComm& comm() noexcept { return comm_; }
+  [[nodiscard]] double time() const noexcept { return time_; }
+
+  /// Global DT reduction: per-rank SOS maxima combined by an allreduce.
+  [[nodiscard]] double compute_dt();
+
+  void advance(double dt);
+  double step();
+
+  /// Copies the distributed state into a single global grid (shape must be
+  /// gbx x gby x gbz blocks of the same block size).
+  void gather(Grid& global) const;
+
+  /// Reduction of the per-rank diagnostics.
+  [[nodiscard]] Diagnostics diagnostics(double G_vapor, double G_liquid) const;
+
+  /// Compresses one quantity across all ranks into a single dump whose
+  /// streams carry global block ids; stream offsets in the file come from
+  /// the exclusive prefix sum (collective dump, paper Section 6).
+  [[nodiscard]] compression::CompressedQuantity compress_collective(
+      const compression::CompressionParams& params,
+      std::vector<compression::WorkerTimes>* times = nullptr);
+
+  /// Aggregated kernel times across ranks.
+  [[nodiscard]] StepProfile profile() const;
+  /// Wall-clock spent in halo pack/send/recv/unpack.
+  [[nodiscard]] double comm_time() const noexcept { return comm_time_; }
+
+  [[nodiscard]] const std::vector<int>& interior_blocks(int r) const {
+    return interior_[r];
+  }
+  [[nodiscard]] const std::vector<int>& halo_blocks(int r) const { return halo_[r]; }
+
+  /// One full halo exchange (normally driven by advance; exposed for tests
+  /// and the communication benches).
+  void exchange_halos();
+
+  /// The ghost resolution path of `rank` for a global cell coordinate
+  /// (exposed for tests): returns false when the cell is local-unfolded.
+  [[nodiscard]] bool fetch_remote(int rank, int gx, int gy, int gz, Cell& out) const;
+
+ private:
+  struct RankBox {
+    int ox, oy, oz;  ///< origin in global cells
+    int nx, ny, nz;  ///< extent in cells
+  };
+
+  CartTopology topo_;
+  SimComm comm_;
+  int bs_;
+  int gbx_, gby_, gbz_;
+  BoundaryConditions global_bc_;
+  std::vector<std::unique_ptr<Simulation>> sims_;
+  std::vector<RankBox> boxes_;
+  std::vector<std::vector<int>> interior_, halo_;
+  // halo_slabs_[rank][axis*2+side]: 3-layer cell slab outside the rank box.
+  std::vector<std::array<std::vector<Cell>, 6>> halo_slabs_;
+  double time_ = 0;
+  double comm_time_ = 0;
+  long steps_ = 0;
+};
+
+}  // namespace mpcf::cluster

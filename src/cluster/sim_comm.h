@@ -1,0 +1,66 @@
+// In-process message transport standing in for MPI (see DESIGN.md,
+// substitutions): point-to-point messages are byte buffers in per-(dst,tag)
+// mailboxes; collectives (max-allreduce for DT, exclusive scan for the
+// collective dump offsets) operate on per-rank contribution vectors. The
+// send/recv discipline mirrors the non-blocking exchange of the paper's
+// cluster layer so the halo/interior overlap structure is preserved, and all
+// traffic is accounted (message counts and bytes) for the communication
+// statistics of the scaling benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mpcf::cluster {
+
+class SimComm {
+ public:
+  explicit SimComm(int nranks) : nranks_(nranks) {
+    require(nranks > 0, "SimComm: positive rank count required");
+  }
+
+  [[nodiscard]] int size() const noexcept { return nranks_; }
+
+  /// Non-blocking send: enqueues the buffer for (dst, tag).
+  void send(int src, int dst, int tag, std::vector<float> data);
+
+  /// Matching receive; messages from one (src,dst,tag) arrive in send order.
+  [[nodiscard]] std::vector<float> recv(int src, int dst, int tag);
+
+  /// True if a message from (src, tag) is waiting at dst.
+  [[nodiscard]] bool probe(int src, int dst, int tag) const;
+
+  /// Max-allreduce over per-rank contributions (the DT reduction).
+  [[nodiscard]] double allreduce_max(const std::vector<double>& contributions) const;
+
+  /// Exclusive prefix sum over per-rank values (the dump offset scan).
+  [[nodiscard]] std::vector<std::uint64_t> exscan(
+      const std::vector<std::uint64_t>& values) const;
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t collectives = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct Key {
+    int src, dst, tag;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+
+  int nranks_;
+  std::map<Key, std::vector<std::vector<float>>> mailboxes_;
+  mutable Stats stats_;
+};
+
+}  // namespace mpcf::cluster

@@ -1,0 +1,45 @@
+// Cartesian rank topology (paper Section 6, cluster layer): the global block
+// grid is decomposed into equal subdomains across ranks; every rank talks to
+// its six face neighbours.
+#pragma once
+
+#include "common/error.h"
+
+namespace mpcf::cluster {
+
+struct CartTopology {
+  int rx = 1, ry = 1, rz = 1;
+
+  CartTopology() = default;
+  CartTopology(int x, int y, int z) : rx(x), ry(y), rz(z) {
+    require(x > 0 && y > 0 && z > 0, "CartTopology: positive rank counts required");
+  }
+
+  [[nodiscard]] int size() const noexcept { return rx * ry * rz; }
+
+  [[nodiscard]] int rank(int cx, int cy, int cz) const noexcept {
+    return cx + rx * (cy + ry * cz);
+  }
+
+  void coords(int rank, int& cx, int& cy, int& cz) const noexcept {
+    cx = rank % rx;
+    cy = (rank / rx) % ry;
+    cz = rank / (rx * ry);
+  }
+
+  /// Face neighbour along `axis` toward `side` (0=low, 1=high); -1 if the
+  /// neighbour would fall outside and `periodic` is false.
+  [[nodiscard]] int neighbor(int rank, int axis, int side, bool periodic) const noexcept {
+    int c[3];
+    coords(rank, c[0], c[1], c[2]);
+    const int extent[3] = {rx, ry, rz};
+    c[axis] += side == 0 ? -1 : 1;
+    if (c[axis] < 0 || c[axis] >= extent[axis]) {
+      if (!periodic) return -1;
+      c[axis] = (c[axis] + extent[axis]) % extent[axis];
+    }
+    return this->rank(c[0], c[1], c[2]);
+  }
+};
+
+}  // namespace mpcf::cluster

@@ -1,0 +1,84 @@
+// RAII buffer with SIMD-friendly alignment (Core Guidelines R.1/R.11:
+// ownership via handle, no naked new/delete).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/config.h"
+
+namespace mpcf {
+
+/// Owning, aligned, fixed-capacity array of trivially-destructible T.
+/// Unlike std::vector it guarantees alignment suitable for vector loads and
+/// never reallocates behind the caller's back.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kSimdAlignment) {
+    allocate(count, alignment);
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Discards current contents and resizes; contents are uninitialized.
+  void reset(std::size_t count, std::size_t alignment = kSimdAlignment) {
+    release();
+    allocate(count, alignment);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void allocate(std::size_t count, std::size_t alignment) {
+    if (count == 0) return;
+    // Round the byte size up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    const std::size_t bytes = ((count * sizeof(T) + alignment - 1) / alignment) * alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    size_ = count;
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mpcf

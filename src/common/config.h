@@ -1,0 +1,40 @@
+// Global configuration for the CUBISM-MPCF reproduction.
+//
+// The paper (Section 7) runs in mixed precision: single precision for the
+// memory representation of the computational elements, double precision where
+// accumulation demands it (global reductions, diagnostics). `Real` is the
+// storage type; reductions use `double` explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpcf {
+
+using Real = float;
+
+/// Number of flow quantities carried per cell: rho, rho*u, rho*v, rho*w,
+/// total energy E, Gamma = 1/(gamma-1), Pi = gamma*pc/(gamma-1).
+inline constexpr int kNumQuantities = 7;
+
+/// Ghost layer width required by the WENO5 stencil (3 cells per side).
+inline constexpr int kGhosts = 3;
+
+/// Default block edge length, as in the paper (32^3-cell blocks).
+inline constexpr int kDefaultBlockSize = 32;
+
+/// Alignment (bytes) for SIMD-friendly buffers; 32 covers SSE and AVX.
+inline constexpr std::size_t kSimdAlignment = 32;
+
+/// Indices of the quantities inside a cell.
+enum Quantity : int {
+  Q_RHO = 0,
+  Q_RU = 1,
+  Q_RV = 2,
+  Q_RW = 3,
+  Q_E = 4,
+  Q_G = 5,  // Gamma = 1/(gamma-1)
+  Q_P = 6,  // Pi = gamma*pc/(gamma-1)
+};
+
+}  // namespace mpcf

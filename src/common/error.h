@@ -1,0 +1,28 @@
+// Minimal error-handling helpers (Core Guidelines E.x: throw on broken
+// preconditions in non-hot paths; hot kernels use asserts only).
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace mpcf {
+
+/// Thrown when a runtime precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown on I/O and file-format failures.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Validates a precondition on a cold path; throws PreconditionError.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) throw PreconditionError(what);
+}
+
+}  // namespace mpcf

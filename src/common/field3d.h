@@ -1,0 +1,91 @@
+// Dense 3-D scalar field with owning storage and a non-owning view.
+// Used for per-thread SoA scratch (labs, slices) and for wavelet transforms.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned_buffer.h"
+#include "common/error.h"
+
+namespace mpcf {
+
+/// Non-owning view of a contiguous nx*ny*nz scalar field, x fastest.
+template <typename T>
+class FieldView3D {
+ public:
+  FieldView3D() noexcept = default;
+  FieldView3D(T* data, int nx, int ny, int nz) noexcept
+      : data_(data), nx_(nx), ny_(ny), nz_(nz) {}
+
+  [[nodiscard]] int nx() const noexcept { return nx_; }
+  [[nodiscard]] int ny() const noexcept { return ny_; }
+  [[nodiscard]] int nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  T& operator()(int ix, int iy, int iz) noexcept {
+    return data_[ix + static_cast<std::size_t>(nx_) * (iy + static_cast<std::size_t>(ny_) * iz)];
+  }
+  const T& operator()(int ix, int iy, int iz) const noexcept {
+    return data_[ix + static_cast<std::size_t>(nx_) * (iy + static_cast<std::size_t>(ny_) * iz)];
+  }
+
+ private:
+  T* data_ = nullptr;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+};
+
+/// Owning 3-D scalar field (aligned storage).
+template <typename T>
+class Field3D {
+ public:
+  Field3D() = default;
+  Field3D(int nx, int ny, int nz)
+      : buffer_(checked_size(nx, ny, nz)), nx_(nx), ny_(ny), nz_(nz) {}
+
+  void reset(int nx, int ny, int nz) {
+    buffer_.reset(checked_size(nx, ny, nz));
+    nx_ = nx;
+    ny_ = ny;
+    nz_ = nz;
+  }
+
+  [[nodiscard]] int nx() const noexcept { return nx_; }
+  [[nodiscard]] int ny() const noexcept { return ny_; }
+  [[nodiscard]] int nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+  [[nodiscard]] T* data() noexcept { return buffer_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return buffer_.data(); }
+
+  T& operator()(int ix, int iy, int iz) noexcept {
+    return buffer_[ix + static_cast<std::size_t>(nx_) * (iy + static_cast<std::size_t>(ny_) * iz)];
+  }
+  const T& operator()(int ix, int iy, int iz) const noexcept {
+    return buffer_[ix + static_cast<std::size_t>(nx_) * (iy + static_cast<std::size_t>(ny_) * iz)];
+  }
+
+  [[nodiscard]] FieldView3D<T> view() noexcept { return {buffer_.data(), nx_, ny_, nz_}; }
+  [[nodiscard]] FieldView3D<const T> view() const noexcept {
+    return {buffer_.data(), nx_, ny_, nz_};
+  }
+
+  void fill(T value) noexcept {
+    for (auto& v : buffer_) v = value;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t checked_size(int nx, int ny, int nz) {
+    require(nx > 0 && ny > 0 && nz > 0, "Field3D: extents must be positive");
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+
+  AlignedBuffer<T> buffer_;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+};
+
+}  // namespace mpcf

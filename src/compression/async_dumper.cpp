@@ -1,0 +1,116 @@
+#include "compression/async_dumper.h"
+
+#include <zlib.h>
+
+#include <chrono>
+#include <memory>
+
+#include "common/error.h"
+#include "compression/sparse_coder.h"
+#include "io/compressed_file.h"
+
+namespace mpcf::compression {
+
+namespace {
+
+/// Staging snapshot of one quantity, laid out as a standalone block grid so
+/// the background thread never touches the live simulation state.
+struct Snapshot {
+  int bx, by, bz, bs;
+  std::vector<float> cubes;  // per block, SFC order, bs^3 floats each
+};
+
+Snapshot take_snapshot(const Grid& grid, const CompressionParams& params) {
+  Snapshot snap;
+  snap.bx = grid.blocks_x();
+  snap.by = grid.blocks_y();
+  snap.bz = grid.blocks_z();
+  snap.bs = grid.block_size();
+  const std::size_t cube = static_cast<std::size_t>(snap.bs) * snap.bs * snap.bs;
+  snap.cubes.resize(cube * grid.block_count());
+  for (int b = 0; b < grid.block_count(); ++b) {
+    float* out = snap.cubes.data() + cube * b;
+    const Block& blk = grid.block(b);
+    std::size_t o = 0;
+    for (int iz = 0; iz < snap.bs; ++iz)
+      for (int iy = 0; iy < snap.bs; ++iy)
+        for (int ix = 0; ix < snap.bs; ++ix, ++o) {
+          const Cell& c = blk(ix, iy, iz);
+          if (params.derive_pressure) {
+            const float ke = 0.5f * (c.ru * c.ru + c.rv * c.rv + c.rw * c.rw) / c.rho;
+            out[o] = (c.E - ke - c.P) / c.G;
+          } else {
+            out[o] = c.q(params.quantity);
+          }
+        }
+  }
+  return snap;
+}
+
+/// The background pipeline: per-cube FWT + decimation, one stream, encode,
+/// write. Single-threaded on purpose — it runs beside the solver threads.
+double compress_and_write(Snapshot snap, CompressionParams params, std::string path) {
+  const int levels =
+      params.levels < 0 ? wavelet::max_levels(snap.bs) : params.levels;
+  const std::size_t cube = static_cast<std::size_t>(snap.bs) * snap.bs * snap.bs;
+  const int blocks = snap.bx * snap.by * snap.bz;
+
+  CompressedQuantity cq;
+  cq.bx = snap.bx;
+  cq.by = snap.by;
+  cq.bz = snap.bz;
+  cq.block_size = snap.bs;
+  cq.levels = levels;
+  cq.eps = params.eps;
+  cq.derived_pressure = params.derive_pressure;
+  cq.quantity = params.quantity;
+  cq.coder = params.coder;
+  cq.streams.resize(1);
+  auto& stream = cq.streams[0];
+
+  for (int b = 0; b < blocks; ++b) {
+    FieldView3D<float> view(snap.cubes.data() + cube * b, snap.bs, snap.bs, snap.bs);
+    wavelet::forward_3d_simd(view, levels);
+    wavelet::decimate(view, levels, params.eps, params.mode);
+    stream.block_ids.push_back(static_cast<std::uint32_t>(b));
+  }
+  // Encode the whole concatenated buffer (same discipline as the
+  // synchronous pipeline).
+  std::vector<std::uint8_t> buffer(
+      reinterpret_cast<const std::uint8_t*>(snap.cubes.data()),
+      reinterpret_cast<const std::uint8_t*>(snap.cubes.data()) +
+          snap.cubes.size() * sizeof(float));
+  if (params.coder == Coder::kSparseZlib)
+    buffer = sparse_encode(snap.cubes.data(), snap.cubes.size());
+  stream.raw_bytes = buffer.size();
+  uLongf bound = compressBound(static_cast<uLong>(buffer.size()));
+  stream.data.resize(bound);
+  require(compress2(stream.data.data(), &bound, buffer.data(),
+                    static_cast<uLong>(buffer.size()), params.zlib_level) == Z_OK,
+          "AsyncDumper: zlib failure");
+  stream.data.resize(bound);
+  io::write_compressed(path, cq);
+  return cq.compression_rate();
+}
+
+}  // namespace
+
+void AsyncDumper::dump(const Grid& grid, const CompressionParams& params,
+                       const std::string& path) {
+  wait();
+  Snapshot snap = take_snapshot(grid, params);
+  pending_ = std::async(std::launch::async, compress_and_write, std::move(snap), params,
+                        path);
+}
+
+double AsyncDumper::wait() {
+  if (!pending_.valid()) return 0.0;
+  return pending_.get();
+}
+
+bool AsyncDumper::busy() const {
+  return pending_.valid() &&
+         pending_.wait_for(std::chrono::seconds(0)) != std::future_status::ready;
+}
+
+}  // namespace mpcf::compression

@@ -1,0 +1,41 @@
+// Asynchronous data dumps: snapshot one quantity into a staging field and
+// run the FWT + decimation + encoding + file write on a background thread
+// while the solver keeps stepping. This is the computation/transfer overlap
+// the paper cites from ISOBAR [66] ("asynchronous data transfer to the
+// dedicated I/O nodes") and envisions for future many-core platforms
+// (Section 9: "intra-node techniques to enforce computation/transfer
+// overlap"). The staging copy holds exactly one quantity, keeping the memory
+// overhead within the paper's 10%-of-footprint budget.
+#pragma once
+
+#include <future>
+#include <string>
+
+#include "compression/compressor.h"
+
+namespace mpcf::compression {
+
+class AsyncDumper {
+ public:
+  AsyncDumper() = default;
+  ~AsyncDumper() { wait(); }
+  AsyncDumper(const AsyncDumper&) = delete;
+  AsyncDumper& operator=(const AsyncDumper&) = delete;
+
+  /// Snapshots the quantity synchronously (cheap: one memcpy-scale pass),
+  /// then compresses and writes to `path` in the background. Any previous
+  /// dump still in flight is waited for first (one quantity at a time).
+  void dump(const Grid& grid, const CompressionParams& params, const std::string& path);
+
+  /// Blocks until the in-flight dump (if any) finishes; returns its
+  /// compression rate (0 if none was pending).
+  double wait();
+
+  /// True if a background dump is still running.
+  [[nodiscard]] bool busy() const;
+
+ private:
+  std::future<double> pending_;
+};
+
+}  // namespace mpcf::compression

@@ -1,0 +1,182 @@
+#include "compression/compressor.h"
+
+#include <omp.h>
+#include <zlib.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "compression/sparse_coder.h"
+
+namespace mpcf::compression {
+
+namespace {
+
+/// Extracts one scalar quantity of a block into a dense cube.
+void gather_block(const Grid& grid, int block_id, const CompressionParams& p,
+                  float* cube) {
+  const Block& b = grid.block(block_id);
+  const int bs = grid.block_size();
+  std::size_t o = 0;
+  for (int iz = 0; iz < bs; ++iz)
+    for (int iy = 0; iy < bs; ++iy)
+      for (int ix = 0; ix < bs; ++ix, ++o) {
+        const Cell& c = b(ix, iy, iz);
+        if (p.derive_pressure) {
+          const float ke = 0.5f * (c.ru * c.ru + c.rv * c.rv + c.rw * c.rw) / c.rho;
+          cube[o] = (c.E - ke - c.P) / c.G;
+        } else {
+          cube[o] = c.q(p.quantity);
+        }
+      }
+}
+
+std::vector<std::uint8_t> zlib_encode(const std::uint8_t* src, std::size_t n, int level) {
+  uLongf bound = compressBound(static_cast<uLong>(n));
+  std::vector<std::uint8_t> out(bound);
+  const int rc = compress2(out.data(), &bound, src, static_cast<uLong>(n), level);
+  require(rc == Z_OK, "zlib_encode: compress2 failed");
+  out.resize(bound);
+  return out;
+}
+
+std::vector<std::uint8_t> zlib_decode(const std::uint8_t* src, std::size_t n,
+                                      std::size_t raw_bytes) {
+  std::vector<std::uint8_t> out(raw_bytes);
+  uLongf len = static_cast<uLongf>(raw_bytes);
+  const int rc = uncompress(out.data(), &len, src, static_cast<uLong>(n));
+  require(rc == Z_OK && len == raw_bytes, "zlib_decode: uncompress failed");
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t CompressedQuantity::uncompressed_bytes() const {
+  std::uint64_t blocks = 0;
+  for (const auto& s : streams) blocks += s.block_ids.size();
+  return blocks * static_cast<std::uint64_t>(block_size) * block_size * block_size *
+         sizeof(float);
+}
+
+std::uint64_t CompressedQuantity::compressed_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : streams) total += s.data.size();
+  return total;
+}
+
+double CompressedQuantity::compression_rate() const {
+  const std::uint64_t c = compressed_bytes();
+  return c == 0 ? 0.0 : static_cast<double>(uncompressed_bytes()) / static_cast<double>(c);
+}
+
+CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& params,
+                                     std::vector<WorkerTimes>* times) {
+  const int bs = grid.block_size();
+  const int levels = params.levels < 0 ? wavelet::max_levels(bs) : params.levels;
+  require(levels <= wavelet::max_levels(bs), "compress_quantity: too many levels");
+
+  CompressedQuantity cq;
+  cq.bx = grid.blocks_x();
+  cq.by = grid.blocks_y();
+  cq.bz = grid.blocks_z();
+  cq.block_size = bs;
+  cq.levels = levels;
+  cq.eps = params.eps;
+  cq.derived_pressure = params.derive_pressure;
+  cq.quantity = params.quantity;
+  cq.coder = params.coder;
+
+  const int nthreads = omp_get_max_threads();
+  cq.streams.resize(nthreads);
+  if (times) {
+    times->clear();
+    times->resize(nthreads);
+  }
+  const std::size_t cube_floats = static_cast<std::size_t>(bs) * bs * bs;
+
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    auto& stream = cq.streams[tid];
+    // Dedicated per-thread decimation buffer (paper Section 5): coefficient
+    // cubes of all blocks this worker processes, concatenated.
+    std::vector<std::uint8_t> buffer;
+    Field3D<float> cube(bs, bs, bs);
+    Timer t;
+
+#pragma omp for schedule(dynamic, 1)
+    for (int i = 0; i < grid.block_count(); ++i) {
+      gather_block(grid, i, params, cube.data());
+      wavelet::forward_3d_simd(cube.view(), levels);
+      wavelet::decimate(cube.view(), levels, params.eps, params.mode);
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(cube.data());
+      buffer.insert(buffer.end(), bytes, bytes + cube_floats * sizeof(float));
+      stream.block_ids.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (times) (*times)[tid].dec = t.seconds();
+
+    // Encode the concatenated stream in one shot: detail coefficients of
+    // adjacent blocks assume similar ranges, so a single stream compresses
+    // better than per-block encoding (paper Section 5). The sparse coder
+    // first strips the zero runs left by the decimation.
+    t.restart();
+    if (params.coder == Coder::kSparseZlib && !buffer.empty()) {
+      const auto* floats = reinterpret_cast<const float*>(buffer.data());
+      const auto sparse = sparse_encode(floats, buffer.size() / sizeof(float));
+      buffer.assign(sparse.begin(), sparse.end());
+    }
+    stream.raw_bytes = buffer.size();
+    if (!buffer.empty())
+      stream.data = zlib_encode(buffer.data(), buffer.size(), params.zlib_level);
+    if (times) (*times)[tid].enc = t.seconds();
+  }
+  return cq;
+}
+
+Field3D<float> decompress_to_field(const CompressedQuantity& cq) {
+  const int bs = cq.block_size;
+  Field3D<float> out(cq.bx * bs, cq.by * bs, cq.bz * bs);
+  const BlockIndexer indexer(cq.bx, cq.by, cq.bz);
+  const std::size_t cube_bytes = static_cast<std::size_t>(bs) * bs * bs * sizeof(float);
+
+  for (const auto& stream : cq.streams) {
+    if (stream.block_ids.empty()) continue;
+    auto raw = zlib_decode(stream.data.data(), stream.data.size(), stream.raw_bytes);
+    if (cq.coder == Coder::kSparseZlib) {
+      const std::size_t nfloats = stream.block_ids.size() * cube_bytes / sizeof(float);
+      std::vector<std::uint8_t> dense(nfloats * sizeof(float));
+      sparse_decode(raw, reinterpret_cast<float*>(dense.data()), nfloats);
+      raw = std::move(dense);
+    }
+    require(raw.size() == stream.block_ids.size() * cube_bytes,
+            "decompress: stream size mismatch");
+    Field3D<float> cube(bs, bs, bs);
+    for (std::size_t b = 0; b < stream.block_ids.size(); ++b) {
+      std::memcpy(cube.data(), raw.data() + b * cube_bytes, cube_bytes);
+      wavelet::inverse_3d(cube.view(), cq.levels);
+      int bxc, byc, bzc;
+      indexer.coords(static_cast<int>(stream.block_ids[b]), bxc, byc, bzc);
+      for (int iz = 0; iz < bs; ++iz)
+        for (int iy = 0; iy < bs; ++iy)
+          for (int ix = 0; ix < bs; ++ix)
+            out(bxc * bs + ix, byc * bs + iy, bzc * bs + iz) = cube(ix, iy, iz);
+    }
+  }
+  return out;
+}
+
+void decompress_quantity(const CompressedQuantity& cq, Grid& grid) {
+  require(!cq.derived_pressure,
+          "decompress_quantity: derived pressure cannot be scattered back");
+  require(grid.blocks_x() == cq.bx && grid.blocks_y() == cq.by &&
+              grid.blocks_z() == cq.bz && grid.block_size() == cq.block_size,
+          "decompress_quantity: grid shape mismatch");
+  const Field3D<float> field = decompress_to_field(cq);
+  const int nx = grid.cells_x(), ny = grid.cells_y(), nz = grid.cells_z();
+  for (int iz = 0; iz < nz; ++iz)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int ix = 0; ix < nx; ++ix)
+        grid.cell(ix, iy, iz).q(cq.quantity) = field(ix, iy, iz);
+}
+
+}  // namespace mpcf::compression

@@ -1,0 +1,91 @@
+// Wavelet-based data compression pipeline (paper Section 5, Fig. 3):
+//
+//   per block:   in-place forward wavelet transform  (FWT)
+//                lossy decimation of small details   (DEC)
+//   per thread:  concatenation of the surviving coefficient cubes into a
+//                dedicated buffer, lossless encoding of the whole stream
+//                with zlib                           (ENC)
+//   per rank:    one global buffer of encoded streams, written collectively
+//                (see cluster::write_compressed_collective)
+//
+// Dumps are performed for one quantity at a time (pressure and Gamma in the
+// production runs) to cap the memory overhead at ~10% of the simulation
+// footprint; parallel granularity is one block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile.h"
+#include "grid/grid.h"
+#include "wavelet/interp_wavelet.h"
+
+namespace mpcf::compression {
+
+/// Lossless back-end applied to the per-thread coefficient streams.
+enum class Coder : std::uint8_t {
+  kZlib = 0,        ///< zlib over the raw coefficient stream (the paper's choice)
+  kSparseZlib = 1,  ///< zero-run significance coder, then zlib (the
+                    ///< zerotree/SPIHT-style alternative of Section 5)
+};
+
+struct CompressionParams {
+  float eps = 1e-2f;  ///< decimation threshold
+  wavelet::ThresholdMode mode = wavelet::ThresholdMode::kUniform;
+  int levels = -1;     ///< wavelet levels; -1 = maximum for the block size
+  int zlib_level = 6;  ///< zlib effort (1 fast .. 9 best)
+  Coder coder = Coder::kZlib;
+  /// Dumped quantities are either raw conserved components or derived
+  /// pressure; the paper dumps p and Gamma.
+  bool derive_pressure = false;  ///< if true, `quantity` is ignored: dump p
+  int quantity = Q_G;
+};
+
+/// Per-worker wall-clock split of one dump (paper Table 4 / Fig. 7-right).
+struct WorkerTimes {
+  double dec = 0;  ///< FWT + decimation
+  double enc = 0;  ///< zlib encoding
+  double io = 0;   ///< file write (filled by the I/O layer)
+};
+
+/// One quantity, compressed: a set of per-worker streams, each a zlib blob
+/// of concatenated decimated coefficient cubes plus the ids of the blocks it
+/// contains (in stream order).
+struct CompressedQuantity {
+  int bx = 0, by = 0, bz = 0;  ///< grid shape in blocks
+  int block_size = 0;
+  int levels = 0;
+  float eps = 0;
+  bool derived_pressure = false;
+  int quantity = 0;
+  Coder coder = Coder::kZlib;
+
+  struct Stream {
+    std::vector<std::uint32_t> block_ids;
+    std::vector<std::uint8_t> data;  ///< zlib-encoded coefficients
+    std::uint64_t raw_bytes = 0;     ///< size before encoding
+  };
+  std::vector<Stream> streams;
+
+  [[nodiscard]] std::uint64_t uncompressed_bytes() const;
+  [[nodiscard]] std::uint64_t compressed_bytes() const;
+  /// The headline metric: uncompressed field bytes / encoded bytes.
+  [[nodiscard]] double compression_rate() const;
+};
+
+/// Compresses one scalar quantity of the whole grid. If `times` is given it
+/// is resized to the worker count and filled with per-worker DEC/ENC times.
+[[nodiscard]] CompressedQuantity compress_quantity(const Grid& grid,
+                                                   const CompressionParams& params,
+                                                   std::vector<WorkerTimes>* times = nullptr);
+
+/// Inverse pipeline: decodes, inverse-transforms and writes the quantity
+/// back into `grid` (grid shape must match). Derived pressure cannot be
+/// scattered back into conserved variables and is written into a Field3D.
+void decompress_quantity(const CompressedQuantity& cq, Grid& grid);
+
+/// Decompresses into a standalone cell-indexed scalar field (works for
+/// derived quantities too).
+[[nodiscard]] Field3D<float> decompress_to_field(const CompressedQuantity& cq);
+
+}  // namespace mpcf::compression

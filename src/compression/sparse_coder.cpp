@@ -1,0 +1,120 @@
+#include "compression/sparse_coder.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace mpcf::compression {
+
+namespace {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::uint8_t*& p, const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (p < end) {
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return v;
+    shift += 7;
+    require(shift < 64, "sparse_decode: varint overflow");
+  }
+  throw PreconditionError("sparse_decode: truncated varint");
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Walks the alternating zero/non-zero run structure of the data.
+template <typename OnRuns, typename OnValue>
+void scan_runs(const float* data, std::size_t n, OnRuns&& on_runs, OnValue&& on_value) {
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t zstart = i;
+    while (i < n && data[i] == 0.0f) ++i;
+    const std::size_t zeros = i - zstart;
+    std::size_t vstart = i;
+    while (i < n && data[i] != 0.0f) ++i;
+    const std::size_t values = i - vstart;
+    on_runs(zeros, values);
+    for (std::size_t k = vstart; k < vstart + values; ++k) on_value(data[k]);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> sparse_encode(const float* data, std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n / 8 + 64);
+  put_varint(out, n);
+  std::vector<float> values;
+  scan_runs(
+      data, n,
+      [&](std::size_t zeros, std::size_t nvals) {
+        put_varint(out, zeros);
+        put_varint(out, nvals);
+      },
+      [&](float v) { values.push_back(v); });
+  const auto* vb = reinterpret_cast<const std::uint8_t*>(values.data());
+  out.insert(out.end(), vb, vb + values.size() * sizeof(float));
+  return out;
+}
+
+void sparse_decode(const std::vector<std::uint8_t>& encoded, float* out, std::size_t n) {
+  const std::uint8_t* p = encoded.data();
+  const std::uint8_t* end = p + encoded.size();
+  const std::uint64_t total = get_varint(p, end);
+  require(total == n, "sparse_decode: length mismatch");
+
+  // First pass: runs; values trail the run directory, so locate them by
+  // replaying the directory once.
+  struct Run {
+    std::uint64_t zeros, values;
+  };
+  std::vector<Run> runs;
+  std::uint64_t seen = 0, value_count = 0;
+  while (seen < total) {
+    const std::uint64_t z = get_varint(p, end);
+    const std::uint64_t v = get_varint(p, end);
+    runs.push_back({z, v});
+    seen += z + v;
+    value_count += v;
+  }
+  require(seen == total, "sparse_decode: run directory mismatch");
+  require(static_cast<std::size_t>(end - p) == value_count * sizeof(float),
+          "sparse_decode: value payload size mismatch");
+
+  std::size_t oi = 0;
+  for (const Run& r : runs) {
+    for (std::uint64_t k = 0; k < r.zeros; ++k) out[oi++] = 0.0f;
+    std::memcpy(out + oi, p, r.values * sizeof(float));
+    p += r.values * sizeof(float);
+    oi += r.values;
+  }
+}
+
+std::size_t sparse_encoded_size(const float* data, std::size_t n) {
+  std::size_t size = varint_size(n);
+  scan_runs(
+      data, n,
+      [&](std::size_t zeros, std::size_t nvals) {
+        size += varint_size(zeros) + varint_size(nvals) + nvals * sizeof(float);
+      },
+      [](float) {});
+  return size;
+}
+
+}  // namespace mpcf::compression

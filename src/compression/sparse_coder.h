@@ -1,0 +1,26 @@
+// Sparse significance coder — an alternative encoding backend in the spirit
+// of the zerotree/SPIHT coders the paper names as alternatives to zlib
+// (Section 5): after decimation most detail coefficients are exactly zero,
+// so the stream is encoded as a run-length significance map plus the packed
+// non-zero values. The output is further zlib-compressible; decoding is
+// exact (the lossy step is the decimation, never the encoding).
+//
+// Format: u64 value_count | varint zero-run/value-run lengths alternating
+//         (starting with a zero run, possibly of length 0) | packed floats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcf::compression {
+
+/// Encodes `n` floats (mostly zeros) into the sparse representation.
+[[nodiscard]] std::vector<std::uint8_t> sparse_encode(const float* data, std::size_t n);
+
+/// Exact inverse; `n` must match the encoded length.
+void sparse_decode(const std::vector<std::uint8_t>& encoded, float* out, std::size_t n);
+
+/// Encoded size without materializing (for quick rate estimates).
+[[nodiscard]] std::size_t sparse_encoded_size(const float* data, std::size_t n);
+
+}  // namespace mpcf::compression

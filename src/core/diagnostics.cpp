@@ -1,0 +1,64 @@
+#include "core/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcf {
+
+namespace {
+
+double cell_pressure(const Cell& c) {
+  const double ke =
+      0.5 * (double(c.ru) * c.ru + double(c.rv) * c.rv + double(c.rw) * c.rw) / c.rho;
+  return (c.E - ke - c.P) / c.G;
+}
+
+}  // namespace
+
+Diagnostics compute_diagnostics(const Grid& grid, const BoundaryConditions& bc,
+                                double G_vapor, double G_liquid) {
+  Diagnostics d;
+  const double dV = grid.h() * grid.h() * grid.h();
+  const int nx = grid.cells_x(), ny = grid.cells_y(), nz = grid.cells_z();
+  const double inv_dG = 1.0 / (G_vapor - G_liquid);
+
+  double max_p = 0, max_pw = 0, ke = 0, E = 0, mass = 0, vap = 0;
+
+#pragma omp parallel for schedule(static) reduction(max : max_p, max_pw) \
+    reduction(+ : ke, E, mass, vap)
+  for (int iz = 0; iz < nz; ++iz)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int ix = 0; ix < nx; ++ix) {
+        const Cell& c = grid.cell(ix, iy, iz);
+        const double p = cell_pressure(c);
+        max_p = std::max(max_p, p);
+        const double cke =
+            0.5 * (double(c.ru) * c.ru + double(c.rv) * c.rv + double(c.rw) * c.rw) / c.rho;
+        ke += cke * dV;
+        E += double(c.E) * dV;
+        mass += double(c.rho) * dV;
+        const double alpha = std::clamp((double(c.G) - G_liquid) * inv_dG, 0.0, 1.0);
+        vap += alpha * dV;
+
+        // Wall pressure: cells adjacent to a reflecting face.
+        const bool on_wall =
+            (ix == 0 && bc.face[0][0] == BCType::kWall) ||
+            (ix == nx - 1 && bc.face[0][1] == BCType::kWall) ||
+            (iy == 0 && bc.face[1][0] == BCType::kWall) ||
+            (iy == ny - 1 && bc.face[1][1] == BCType::kWall) ||
+            (iz == 0 && bc.face[2][0] == BCType::kWall) ||
+            (iz == nz - 1 && bc.face[2][1] == BCType::kWall);
+        if (on_wall) max_pw = std::max(max_pw, p);
+      }
+
+  d.max_p_field = max_p;
+  d.max_p_wall = max_pw;
+  d.kinetic_energy = ke;
+  d.total_energy = E;
+  d.mass = mass;
+  d.vapor_volume = vap;
+  d.equivalent_radius = std::cbrt(3.0 * vap / (4.0 * M_PI));
+  return d;
+}
+
+}  // namespace mpcf

@@ -1,0 +1,27 @@
+// Flow diagnostics monitored during cloud collapse (paper Section 7 /
+// Fig. 5): maximum pressure in the field and on the solid wall, kinetic
+// energy, vapor volume and the equivalent cloud radius 3rt(3 V_vap / 4 pi).
+#pragma once
+
+#include "grid/boundary.h"
+#include "grid/grid.h"
+
+namespace mpcf {
+
+struct Diagnostics {
+  double max_p_field = 0;      ///< max pressure anywhere
+  double max_p_wall = 0;       ///< max pressure on wall faces (0 if no wall)
+  double kinetic_energy = 0;   ///< integral 1/2 rho |u|^2 dV
+  double total_energy = 0;     ///< integral E dV
+  double mass = 0;             ///< integral rho dV
+  double vapor_volume = 0;     ///< integral alpha_vapor dV
+  double equivalent_radius = 0;///< cloud-equivalent radius from vapor volume
+};
+
+/// Computes diagnostics over the whole grid. Vapor fraction is recovered
+/// from the advected Gamma by linear inversion between the pure-phase
+/// values `gamma_liquid`/`gamma_vapor` (Gamma mixes linearly in alpha).
+[[nodiscard]] Diagnostics compute_diagnostics(const Grid& grid, const BoundaryConditions& bc,
+                                              double G_vapor, double G_liquid);
+
+}  // namespace mpcf

@@ -1,0 +1,74 @@
+#include "core/wall_loading.h"
+
+#include <algorithm>
+
+#include "common/field3d.h"
+#include "io/ppm.h"
+
+namespace mpcf {
+
+namespace {
+
+double cell_pressure(const Cell& c) {
+  const double ke =
+      0.5 * (double(c.ru) * c.ru + double(c.rv) * c.rv + double(c.rw) * c.rw) / c.rho;
+  return (c.E - ke - c.P) / c.G;
+}
+
+}  // namespace
+
+WallLoadingMonitor::WallLoadingMonitor(const Grid& grid, const BoundaryConditions& bc,
+                                       int axis, int side)
+    : axis_(axis), side_(side) {
+  require(axis >= 0 && axis < 3 && (side == 0 || side == 1),
+          "WallLoadingMonitor: bad face");
+  require(bc.face[axis][side] == BCType::kWall,
+          "WallLoadingMonitor: the monitored face must be a reflecting wall");
+  const int dims[3] = {grid.cells_x(), grid.cells_y(), grid.cells_z()};
+  nu_ = dims[(axis + 1) % 3];
+  nv_ = dims[(axis + 2) % 3];
+  impulse_.assign(static_cast<std::size_t>(nu_) * nv_, 0.0);
+  peak_.assign(impulse_.size(), 0.0);
+}
+
+void WallLoadingMonitor::accumulate(const Grid& grid, double dt) {
+  const int dims[3] = {grid.cells_x(), grid.cells_y(), grid.cells_z()};
+  const int wall_layer = side_ == 0 ? 0 : dims[axis_] - 1;
+  for (int iv = 0; iv < nv_; ++iv)
+    for (int iu = 0; iu < nu_; ++iu) {
+      int c[3];
+      c[axis_] = wall_layer;
+      c[(axis_ + 1) % 3] = iu;
+      c[(axis_ + 2) % 3] = iv;
+      const double p = cell_pressure(grid.cell(c[0], c[1], c[2]));
+      const std::size_t k = index(iu, iv);
+      impulse_[k] += p * dt;
+      peak_[k] = std::max(peak_[k], p);
+    }
+  accumulated_time_ += dt;
+}
+
+WallLoadingMonitor::Summary WallLoadingMonitor::summary(double pit_threshold) const {
+  Summary s;
+  long loaded = 0;
+  double sum = 0;
+  for (std::size_t k = 0; k < impulse_.size(); ++k) {
+    s.peak_pressure = std::max(s.peak_pressure, peak_[k]);
+    s.max_impulse = std::max(s.max_impulse, impulse_[k]);
+    sum += impulse_[k];
+    if (peak_[k] >= pit_threshold) ++loaded;
+  }
+  s.mean_impulse = impulse_.empty() ? 0.0 : sum / impulse_.size();
+  s.loaded_fraction = impulse_.empty() ? 0.0 : static_cast<double>(loaded) / impulse_.size();
+  return s;
+}
+
+void WallLoadingMonitor::write_impulse_ppm(const std::string& path) const {
+  Field3D<float> img(nu_, nv_, 1);
+  for (int iv = 0; iv < nv_; ++iv)
+    for (int iu = 0; iu < nu_; ++iu)
+      img(iu, iv, 0) = static_cast<float>(impulse_[index(iu, iv)]);
+  io::write_field_slice_ppm(path, std::as_const(img).view(), 0, 0, 0);
+}
+
+}  // namespace mpcf

@@ -1,0 +1,61 @@
+// Wall-loading diagnostics — the erosion-model coupling the paper's
+// conclusion names as ongoing work ("coupling material erosion models with
+// the flow solver for predictive simulations"). Cavitation damage correlates
+// with the pressure impulse and peak pressure experienced by the solid
+// surface (paper Section 2: pits over flat surfaces; Franc & Riondet [21]).
+//
+// The monitor accumulates, per wall-surface cell:
+//   * the pressure impulse  integral p dt,
+//   * the peak pressure seen so far,
+// and reports aggregate damage indicators (peak, mean impulse, and the
+// fraction of the surface whose peak load exceeded a pitting threshold).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/boundary.h"
+#include "grid/grid.h"
+
+namespace mpcf {
+
+class WallLoadingMonitor {
+ public:
+  /// Monitors the wall at face (axis, side); the BCs must mark it as kWall.
+  WallLoadingMonitor(const Grid& grid, const BoundaryConditions& bc, int axis, int side);
+
+  /// Adds one step's contribution from the wall-adjacent cell layer.
+  void accumulate(const Grid& grid, double dt);
+
+  [[nodiscard]] int nu() const noexcept { return nu_; }
+  [[nodiscard]] int nv() const noexcept { return nv_; }
+  /// Pressure impulse [Pa s] at surface cell (iu, iv).
+  [[nodiscard]] double impulse(int iu, int iv) const { return impulse_[index(iu, iv)]; }
+  /// Peak pressure [Pa] at surface cell (iu, iv).
+  [[nodiscard]] double peak(int iu, int iv) const { return peak_[index(iu, iv)]; }
+
+  struct Summary {
+    double peak_pressure = 0;      ///< max over the surface
+    double mean_impulse = 0;       ///< average impulse
+    double max_impulse = 0;
+    double loaded_fraction = 0;    ///< fraction with peak above the threshold
+  };
+  /// Aggregate indicators; `pit_threshold` defaults to 2x the ambient 100 bar.
+  [[nodiscard]] Summary summary(double pit_threshold = 2.0e7) const;
+
+  /// Renders the impulse map to a PPM image (damage footprint).
+  void write_impulse_ppm(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::size_t index(int iu, int iv) const noexcept {
+    return iu + static_cast<std::size_t>(nu_) * iv;
+  }
+
+  int axis_, side_;
+  int nu_ = 0, nv_ = 0;
+  double accumulated_time_ = 0;
+  std::vector<double> impulse_;
+  std::vector<double> peak_;
+};
+
+}  // namespace mpcf

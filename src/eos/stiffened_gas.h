@@ -1,0 +1,82 @@
+// Stiffened-gas equation of state and the two-phase mixture closure used in
+// the paper (Section 3):
+//
+//   Gamma * p + Pi = E - 1/2 rho |u|^2,   Gamma = 1/(gamma-1),
+//                                         Pi    = gamma*pc/(gamma-1).
+//
+// The phase composition is tracked by advecting (Gamma, Pi) themselves, so
+// every EOS evaluation is phrased in terms of (Gamma, Pi) rather than
+// (gamma, pc).
+#pragma once
+
+#include <cmath>
+
+#include "common/config.h"
+#include "common/error.h"
+
+namespace mpcf {
+
+/// One material phase described by a stiffened-gas EOS.
+struct StiffenedGas {
+  double gamma = 1.4;  ///< specific heat ratio
+  double pc = 0.0;     ///< correction ("stiffness") pressure [Pa]
+
+  [[nodiscard]] constexpr double Gamma() const { return 1.0 / (gamma - 1.0); }
+  [[nodiscard]] constexpr double Pi() const { return gamma * pc / (gamma - 1.0); }
+};
+
+/// Material constants of the production simulations (paper Section 7).
+/// Pressures in Pascal, densities in kg/m^3.
+namespace materials {
+inline constexpr StiffenedGas kVapor{1.4, 1.0e5};     // gamma=1.4, pc=1 bar
+inline constexpr StiffenedGas kLiquid{6.59, 4.096e8};  // gamma=6.59, pc=4096 bar
+inline constexpr double kVaporDensity = 1.0;
+inline constexpr double kLiquidDensity = 1000.0;
+inline constexpr double kVaporPressure = 0.0234e5;  // 0.0234 bar
+inline constexpr double kLiquidPressure = 100.0e5;  // 100 bar (pressurized)
+}  // namespace materials
+
+namespace eos {
+
+/// Pressure from conserved quantities and the advected mixture pair.
+template <typename T>
+[[nodiscard]] inline T pressure(T rho, T ru, T rv, T rw, T E, T G, T Pi) {
+  const T ke = T(0.5) * (ru * ru + rv * rv + rw * rw) / rho;
+  return (E - ke - Pi) / G;
+}
+
+/// Total energy from primitive quantities.
+template <typename T>
+[[nodiscard]] inline T total_energy(T rho, T u, T v, T w, T p, T G, T Pi) {
+  return G * p + Pi + T(0.5) * rho * (u * u + v * v + w * w);
+}
+
+/// Mixture speed of sound squared: c^2 = (p (Gamma+1) + Pi) / (Gamma rho).
+template <typename T>
+[[nodiscard]] inline T sound_speed_sq(T rho, T p, T G, T Pi) {
+  return (p * (G + T(1)) + Pi) / (G * rho);
+}
+
+template <typename T>
+[[nodiscard]] inline T sound_speed(T rho, T p, T G, T Pi) {
+  using std::sqrt;
+  return sqrt(sound_speed_sq(rho, p, G, Pi));
+}
+
+/// Volume-fraction mixing of the advected pair: both Gamma and Pi mix
+/// linearly in the vapor volume fraction alpha (Abgrall/Karni, [1] in the
+/// paper). Used by the workload generator to set smeared-interface ICs.
+struct MixturePair {
+  double G;
+  double Pi;
+};
+
+[[nodiscard]] inline MixturePair mix(const StiffenedGas& a, const StiffenedGas& b,
+                                     double alpha_a) {
+  require(alpha_a >= 0.0 && alpha_a <= 1.0, "eos::mix: alpha out of [0,1]");
+  return {alpha_a * a.Gamma() + (1.0 - alpha_a) * b.Gamma(),
+          alpha_a * a.Pi() + (1.0 - alpha_a) * b.Pi()};
+}
+
+}  // namespace eos
+}  // namespace mpcf

@@ -1,0 +1,54 @@
+// A grid block: bs^3 cells in AoS layout plus a temporary area used as the
+// RHS accumulator of the low-storage Runge-Kutta scheme (paper Fig. 2).
+#pragma once
+
+#include "common/aligned_buffer.h"
+#include "common/error.h"
+#include "grid/cell.h"
+
+namespace mpcf {
+
+class Block {
+ public:
+  Block() = default;
+  explicit Block(int bs)
+      : bs_(bs),
+        data_(static_cast<std::size_t>(bs) * bs * bs),
+        tmp_(static_cast<std::size_t>(bs) * bs * bs) {
+    require(bs > 0, "Block: block size must be positive");
+    for (auto& c : data_) c = Cell{};
+    for (auto& c : tmp_) c = Cell{};
+  }
+
+  [[nodiscard]] int size() const noexcept { return bs_; }
+  [[nodiscard]] std::size_t cells() const noexcept { return data_.size(); }
+
+  [[nodiscard]] Cell& operator()(int ix, int iy, int iz) noexcept {
+    return data_[index(ix, iy, iz)];
+  }
+  [[nodiscard]] const Cell& operator()(int ix, int iy, int iz) const noexcept {
+    return data_[index(ix, iy, iz)];
+  }
+
+  /// RHS / low-storage RK accumulator cell.
+  [[nodiscard]] Cell& tmp(int ix, int iy, int iz) noexcept { return tmp_[index(ix, iy, iz)]; }
+  [[nodiscard]] const Cell& tmp(int ix, int iy, int iz) const noexcept {
+    return tmp_[index(ix, iy, iz)];
+  }
+
+  [[nodiscard]] Cell* data() noexcept { return data_.data(); }
+  [[nodiscard]] const Cell* data() const noexcept { return data_.data(); }
+  [[nodiscard]] Cell* tmp_data() noexcept { return tmp_.data(); }
+  [[nodiscard]] const Cell* tmp_data() const noexcept { return tmp_.data(); }
+
+ private:
+  [[nodiscard]] std::size_t index(int ix, int iy, int iz) const noexcept {
+    return ix + static_cast<std::size_t>(bs_) * (iy + static_cast<std::size_t>(bs_) * iz);
+  }
+
+  int bs_ = 0;
+  AlignedBuffer<Cell> data_;
+  AlignedBuffer<Cell> tmp_;
+};
+
+}  // namespace mpcf

@@ -1,0 +1,62 @@
+// Domain boundary conditions. Ghost cells outside the domain are synthesized
+// by folding the out-of-range index back into the domain and flipping the
+// sign of the normal momentum where a reflecting wall demands it.
+//
+// The production simulations (paper Section 7) use absorbing far-field
+// boundaries with a reflecting solid wall on one face (wall-pressure
+// diagnostics); tests also use fully periodic domains for conservation
+// checks.
+#pragma once
+
+#include <array>
+
+#include "common/config.h"
+#include "common/error.h"
+
+namespace mpcf {
+
+enum class BCType {
+  kAbsorbing,  ///< zero-gradient extrapolation
+  kWall,       ///< reflecting wall (mirror + normal momentum flip)
+  kPeriodic,   ///< wrap-around
+};
+
+/// Per-face boundary conditions, indexed [axis][side] with side 0 = low face.
+struct BoundaryConditions {
+  std::array<std::array<BCType, 2>, 3> face{{
+      {BCType::kAbsorbing, BCType::kAbsorbing},
+      {BCType::kAbsorbing, BCType::kAbsorbing},
+      {BCType::kAbsorbing, BCType::kAbsorbing},
+  }};
+
+  static BoundaryConditions all(BCType t) {
+    BoundaryConditions bc;
+    for (auto& ax : bc.face) ax = {t, t};
+    return bc;
+  }
+};
+
+/// Result of folding one out-of-domain index back inside.
+struct FoldedIndex {
+  int i;          ///< in-domain index along the axis
+  Real mom_sign;  ///< multiplier for the momentum component along the axis
+};
+
+/// Folds index `i` into [0, n) according to the BCs of `axis`.
+/// Ghost depth must not exceed n (true for any practical block size).
+inline FoldedIndex fold_index(int i, int n, const BoundaryConditions& bc, int axis) {
+  if (i >= 0 && i < n) return {i, Real(1)};
+  const int side = (i < 0) ? 0 : 1;
+  switch (bc.face[axis][side]) {
+    case BCType::kPeriodic:
+      return {(i % n + n) % n, Real(1)};
+    case BCType::kAbsorbing:
+      return {i < 0 ? 0 : n - 1, Real(1)};
+    case BCType::kWall:
+      // Mirror about the face: ghost -1 <-> cell 0, ghost n <-> cell n-1.
+      return {i < 0 ? -i - 1 : 2 * n - 1 - i, Real(-1)};
+  }
+  return {0, Real(1)};  // unreachable
+}
+
+}  // namespace mpcf

@@ -1,0 +1,38 @@
+// The computational element. Blocks store cells in AoS format (paper Fig. 2):
+// the layout is easy to extend and convert to SoA slices for vectorization.
+#pragma once
+
+#include "common/config.h"
+
+namespace mpcf {
+
+/// One finite-volume cell average: conserved quantities + advected EOS pair.
+struct Cell {
+  Real rho = 0;  ///< density
+  Real ru = 0;   ///< x-momentum (rho*u)
+  Real rv = 0;   ///< y-momentum
+  Real rw = 0;   ///< z-momentum
+  Real E = 0;    ///< total energy
+  Real G = 0;    ///< Gamma = 1/(gamma-1), advected
+  Real P = 0;    ///< Pi = gamma*pc/(gamma-1), advected
+
+  [[nodiscard]] Real& q(int i) noexcept { return (&rho)[i]; }
+  [[nodiscard]] const Real& q(int i) const noexcept { return (&rho)[i]; }
+};
+
+static_assert(sizeof(Cell) == kNumQuantities * sizeof(Real),
+              "Cell must be a dense array of quantities");
+
+inline Cell operator+(const Cell& a, const Cell& b) noexcept {
+  Cell r;
+  for (int i = 0; i < kNumQuantities; ++i) r.q(i) = a.q(i) + b.q(i);
+  return r;
+}
+
+inline Cell operator*(Real s, const Cell& a) noexcept {
+  Cell r;
+  for (int i = 0; i < kNumQuantities; ++i) r.q(i) = s * a.q(i);
+  return r;
+}
+
+}  // namespace mpcf

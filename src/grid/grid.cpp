@@ -1,0 +1,22 @@
+#include "grid/grid.h"
+
+namespace mpcf {
+
+Grid::Grid(int bx, int by, int bz, int bs, double extent_x)
+    : indexer_(bx, by, bz), bs_(bs), h_(extent_x / (static_cast<double>(bx) * bs)) {
+  require(bs > 0, "Grid: block size must be positive");
+  require(extent_x > 0.0, "Grid: domain extent must be positive");
+  blocks_.reserve(indexer_.count());
+  for (int i = 0; i < indexer_.count(); ++i) blocks_.emplace_back(bs);
+}
+
+Grid::Grid(int bx, int by, int bz, int bs, double extent_x, BlockIndexer::Curve curve)
+    : indexer_(bx, by, bz, curve), bs_(bs),
+      h_(extent_x / (static_cast<double>(bx) * bs)) {
+  require(bs > 0, "Grid: block size must be positive");
+  require(extent_x > 0.0, "Grid: domain extent must be positive");
+  blocks_.reserve(indexer_.count());
+  for (int i = 0; i < indexer_.count(); ++i) blocks_.emplace_back(bs);
+}
+
+}  // namespace mpcf

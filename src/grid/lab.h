@@ -1,0 +1,92 @@
+// BlockLab: a per-thread working copy of one block extended by the ghost
+// layer required by the WENO5 stencil, converted from the AoS block storage
+// into SoA arrays (paper Fig. 2: "AoS/SoA conversion during the evaluation of
+// the RHS"). Each OpenMP thread owns one lab and reuses its memory across
+// blocks (paper Section 6, node layer).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "common/aligned_buffer.h"
+#include "common/config.h"
+#include "grid/boundary.h"
+#include "grid/grid.h"
+
+namespace mpcf {
+
+class BlockLab {
+ public:
+  BlockLab() = default;
+
+  /// Allocates storage for a block of edge `bs` with `ghosts` ghost cells.
+  void resize(int bs, int ghosts = kGhosts) {
+    require(bs > 0 && ghosts >= 0, "BlockLab: bad extents");
+    bs_ = bs;
+    g_ = ghosts;
+    n_ = bs + 2 * ghosts;
+    const std::size_t per_q = static_cast<std::size_t>(n_) * n_ * n_;
+    storage_.reset(per_q * kNumQuantities);
+    per_q_ = per_q;
+  }
+
+  [[nodiscard]] int block_size() const noexcept { return bs_; }
+  [[nodiscard]] int ghosts() const noexcept { return g_; }
+  /// Extended edge length (bs + 2*ghosts).
+  [[nodiscard]] int extent() const noexcept { return n_; }
+
+  /// Quantity plane base pointer (SoA).
+  [[nodiscard]] Real* q(int quantity) noexcept { return storage_.data() + quantity * per_q_; }
+  [[nodiscard]] const Real* q(int quantity) const noexcept {
+    return storage_.data() + quantity * per_q_;
+  }
+
+  /// Element access with block-local coordinates in [-ghosts, bs+ghosts).
+  [[nodiscard]] Real& operator()(int quantity, int ix, int iy, int iz) noexcept {
+    return q(quantity)[offset(ix, iy, iz)];
+  }
+  [[nodiscard]] const Real& operator()(int quantity, int ix, int iy, int iz) const noexcept {
+    return q(quantity)[offset(ix, iy, iz)];
+  }
+
+  [[nodiscard]] std::size_t offset(int ix, int iy, int iz) const noexcept {
+    return (ix + g_) +
+           static_cast<std::size_t>(n_) *
+               ((iy + g_) + static_cast<std::size_t>(n_) * (iz + g_));
+  }
+
+  /// Loads block (bx,by,bz) of `grid` plus ghosts. `fetch(ix,iy,iz) -> Cell`
+  /// must resolve any global cell coordinate outside this block (other
+  /// blocks, domain boundaries, or — in the cluster layer — halo buffers).
+  template <typename Fetch>
+    requires std::invocable<Fetch&, int, int, int>
+  void load(const Grid& grid, int bx, int by, int bz, Fetch&& fetch) {
+    const Block& block = grid.block(bx, by, bz);
+    const int ox = bx * bs_, oy = by * bs_, oz = bz * bs_;
+    for (int iz = -g_; iz < bs_ + g_; ++iz)
+      for (int iy = -g_; iy < bs_ + g_; ++iy)
+        for (int ix = -g_; ix < bs_ + g_; ++ix) {
+          const bool interior = ix >= 0 && ix < bs_ && iy >= 0 && iy < bs_ &&
+                                iz >= 0 && iz < bs_;
+          const Cell c =
+              interior ? block(ix, iy, iz) : fetch(ox + ix, oy + iy, oz + iz);
+          const std::size_t o = offset(ix, iy, iz);
+          Real* base = storage_.data();
+          for (int k = 0; k < kNumQuantities; ++k) base[k * per_q_ + o] = c.q(k);
+        }
+  }
+
+  /// Node-layer load: ghosts resolved from neighbouring blocks of the same
+  /// grid, folded through the domain boundary conditions.
+  void load(const Grid& grid, int bx, int by, int bz, const BoundaryConditions& bc) {
+    load(grid, bx, by, bz,
+         [&](int ix, int iy, int iz) { return grid.cell_folded(ix, iy, iz, bc); });
+  }
+
+ private:
+  int bs_ = 0, g_ = 0, n_ = 0;
+  std::size_t per_q_ = 0;
+  AlignedBuffer<Real> storage_;
+};
+
+}  // namespace mpcf

@@ -1,0 +1,167 @@
+#include "grid/sfc.h"
+
+namespace mpcf {
+
+namespace {
+
+// Spreads the low 21 bits of v so consecutive bits land 3 apart.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;
+  v = (v | v << 32) & 0x1f00000000ffffULL;
+  v = (v | v << 16) & 0x1f0000ff0000ffULL;
+  v = (v | v << 8) & 0x100f00f00f00f00fULL;
+  v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+  v = (v | v << 2) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint32_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return static_cast<std::uint32_t>(v);
+}
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// Skilling's transpose-form Hilbert transform (J. Skilling, "Programming the
+// Hilbert curve", AIP Conf. Proc. 707, 2004), 3 dimensions, b bits per axis.
+void axes_to_transpose(std::uint32_t x[3], int b) {
+  std::uint32_t m = 1u << (b - 1), p, q, t;
+  for (q = m; q > 1; q >>= 1) {
+    p = q - 1;
+    for (int i = 0; i < 3; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  for (int i = 1; i < 3; ++i) x[i] ^= x[i - 1];
+  t = 0;
+  for (q = m; q > 1; q >>= 1)
+    if (x[2] & q) t ^= q - 1;
+  for (int i = 0; i < 3; ++i) x[i] ^= t;
+}
+
+void transpose_to_axes(std::uint32_t x[3], int b) {
+  const std::uint32_t n = 2u << (b - 1);
+  std::uint32_t p, q, t;
+  t = x[2] >> 1;
+  for (int i = 2; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  for (q = 2; q != n; q <<= 1) {
+    p = q - 1;
+    for (int i = 2; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y, std::uint32_t& z) {
+  x = compact3(code);
+  y = compact3(code >> 1);
+  z = compact3(code >> 2);
+}
+
+std::uint64_t hilbert_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z, int order) {
+  require(order >= 1 && order <= 20, "hilbert_encode: order out of range");
+  std::uint32_t c[3] = {x, y, z};
+  axes_to_transpose(c, order);
+  // Interleave the transpose-form coordinates, MSB first, axis 0 first.
+  std::uint64_t code = 0;
+  for (int j = order - 1; j >= 0; --j)
+    for (int i = 0; i < 3; ++i) code = (code << 1) | ((c[i] >> j) & 1u);
+  return code;
+}
+
+void hilbert_decode(std::uint64_t code, int order, std::uint32_t& x, std::uint32_t& y,
+                    std::uint32_t& z) {
+  require(order >= 1 && order <= 20, "hilbert_decode: order out of range");
+  std::uint32_t c[3] = {0, 0, 0};
+  for (int j = order - 1; j >= 0; --j)
+    for (int i = 0; i < 3; ++i) c[i] |= static_cast<std::uint32_t>(
+        (code >> (3 * j + (2 - i))) & 1u) << j;
+  transpose_to_axes(c, order);
+  x = c[0];
+  y = c[1];
+  z = c[2];
+}
+
+namespace {
+int log2_int(int v) {
+  int l = 0;
+  while ((1 << l) < v) ++l;
+  return l;
+}
+}  // namespace
+
+BlockIndexer::BlockIndexer(int bx, int by, int bz) : bx_(bx), by_(by), bz_(bz) {
+  require(bx > 0 && by > 0 && bz > 0, "BlockIndexer: extents must be positive");
+  // SFC order stays dense (bijective onto [0, count)) only when all three
+  // extents are equal powers of two.
+  curve_ = (bx == by && by == bz && is_pow2(bx)) ? Curve::kMorton : Curve::kRowMajor;
+}
+
+BlockIndexer::BlockIndexer(int bx, int by, int bz, Curve curve)
+    : bx_(bx), by_(by), bz_(bz), curve_(curve) {
+  require(bx > 0 && by > 0 && bz > 0, "BlockIndexer: extents must be positive");
+  if (curve != Curve::kRowMajor)
+    require(bx == by && by == bz && is_pow2(bx),
+            "BlockIndexer: SFC curves require a power-of-two cube");
+}
+
+int BlockIndexer::linear(int ix, int iy, int iz) const {
+  switch (curve_) {
+    case Curve::kMorton:
+      return static_cast<int>(morton_encode(ix, iy, iz));
+    case Curve::kHilbert:
+      return static_cast<int>(hilbert_encode(ix, iy, iz, log2_int(bx_)));
+    case Curve::kRowMajor:
+      break;
+  }
+  return ix + bx_ * (iy + by_ * iz);
+}
+
+void BlockIndexer::coords(int linear_index, int& ix, int& iy, int& iz) const {
+  std::uint32_t x, y, z;
+  switch (curve_) {
+    case Curve::kMorton:
+      morton_decode(static_cast<std::uint64_t>(linear_index), x, y, z);
+      ix = static_cast<int>(x);
+      iy = static_cast<int>(y);
+      iz = static_cast<int>(z);
+      return;
+    case Curve::kHilbert:
+      hilbert_decode(static_cast<std::uint64_t>(linear_index), log2_int(bx_), x, y, z);
+      ix = static_cast<int>(x);
+      iy = static_cast<int>(y);
+      iz = static_cast<int>(z);
+      return;
+    case Curve::kRowMajor:
+      break;
+  }
+  ix = linear_index % bx_;
+  iy = (linear_index / bx_) % by_;
+  iz = linear_index / (bx_ * by_);
+}
+
+}  // namespace mpcf

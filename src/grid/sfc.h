@@ -1,0 +1,56 @@
+// Space-filling-curve reindexing of grid blocks (paper Section 5: "grouping
+// the computational elements into 3D blocks ... and reindexing the blocks
+// with a space-filling curve"). Morton (Z-order) for power-of-two block
+// grids, row-major fallback otherwise; both expose the same interface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace mpcf {
+
+/// Interleaves the low 21 bits of x,y,z into a 63-bit Morton code.
+[[nodiscard]] std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// Inverse of morton_encode.
+void morton_decode(std::uint64_t code, std::uint32_t& x, std::uint32_t& y, std::uint32_t& z);
+
+/// 3-D Hilbert curve over a 2^order cube: better neighbour locality than
+/// Morton at the cost of a more expensive index computation (the paper's
+/// outlook questions whether two-level Morton indexing provides adequate
+/// locality on future machines; Hilbert is the natural alternative).
+[[nodiscard]] std::uint64_t hilbert_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                                           int order);
+void hilbert_decode(std::uint64_t code, int order, std::uint32_t& x, std::uint32_t& y,
+                    std::uint32_t& z);
+
+/// Maps 3-D block coordinates to a linear storage index and back.
+class BlockIndexer {
+ public:
+  enum class Curve { kMorton, kRowMajor, kHilbert };
+
+  BlockIndexer() = default;
+  BlockIndexer(int bx, int by, int bz);
+  /// Forces a specific curve; kMorton/kHilbert require a power-of-two cube.
+  BlockIndexer(int bx, int by, int bz, Curve curve);
+
+  [[nodiscard]] int nx() const noexcept { return bx_; }
+  [[nodiscard]] int ny() const noexcept { return by_; }
+  [[nodiscard]] int nz() const noexcept { return bz_; }
+  [[nodiscard]] int count() const noexcept { return bx_ * by_ * bz_; }
+  [[nodiscard]] Curve curve() const noexcept { return curve_; }
+
+  /// Linear index of block (ix,iy,iz); Morton order when the grid is a
+  /// power-of-two cube, row-major otherwise.
+  [[nodiscard]] int linear(int ix, int iy, int iz) const;
+
+  /// Inverse: block coordinates of linear index.
+  void coords(int linear_index, int& ix, int& iy, int& iz) const;
+
+ private:
+  int bx_ = 0, by_ = 0, bz_ = 0;
+  Curve curve_ = Curve::kRowMajor;
+};
+
+}  // namespace mpcf

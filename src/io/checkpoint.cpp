@@ -1,0 +1,111 @@
+#include "io/checkpoint.h"
+
+#include <zlib.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mpcf::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'P', 'C', 'F', 'C', 'K', 'P', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::uint64_t save_checkpoint(const std::string& path, const Simulation& sim) {
+  const Grid& g = sim.grid();
+  const std::size_t cell_bytes = g.cell_count() * sizeof(Cell);
+  std::vector<std::uint8_t> raw(cell_bytes);
+  std::size_t off = 0;
+  for (int b = 0; b < g.block_count(); ++b) {
+    const std::size_t n = g.block(b).cells() * sizeof(Cell);
+    std::memcpy(raw.data() + off, g.block(b).data(), n);
+    off += n;
+  }
+
+  uLongf comp_len = compressBound(static_cast<uLong>(raw.size()));
+  std::vector<std::uint8_t> comp(comp_len);
+  require(compress2(comp.data(), &comp_len, raw.data(), static_cast<uLong>(raw.size()),
+                    6) == Z_OK,
+          "save_checkpoint: zlib failure");
+  comp.resize(comp_len);
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  require(f != nullptr, "save_checkpoint: cannot open " + path);
+  auto w = [&](const void* p, std::size_t n) {
+    require(std::fwrite(p, 1, n, f.get()) == n, "save_checkpoint: short write");
+  };
+  w(kMagic, 8);
+  const std::int32_t dims[4] = {g.blocks_x(), g.blocks_y(), g.blocks_z(), g.block_size()};
+  w(dims, sizeof(dims));
+  const double time = sim.time();
+  const double extent = g.h() * g.cells_x();
+  const std::int64_t steps = sim.step_count();
+  w(&time, sizeof(time));
+  w(&extent, sizeof(extent));
+  w(&steps, sizeof(steps));
+  const std::uint64_t sizes[2] = {raw.size(), comp.size()};
+  w(sizes, sizeof(sizes));
+  w(comp.data(), comp.size());
+  return 8 + sizeof(dims) + 24 + sizeof(sizes) + comp.size();
+}
+
+void load_checkpoint(const std::string& path, Simulation& sim) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  require(f != nullptr, "load_checkpoint: cannot open " + path);
+  auto r = [&](void* p, std::size_t n) {
+    require(std::fread(p, 1, n, f.get()) == n, "load_checkpoint: short read");
+  };
+  char magic[8];
+  r(magic, 8);
+  require(std::memcmp(magic, kMagic, 8) == 0, "load_checkpoint: bad magic");
+  std::int32_t dims[4];
+  r(dims, sizeof(dims));
+  Grid& g = sim.grid();
+  require(dims[0] == g.blocks_x() && dims[1] == g.blocks_y() && dims[2] == g.blocks_z() &&
+              dims[3] == g.block_size(),
+          "load_checkpoint: grid shape mismatch");
+  double time, extent;
+  std::int64_t steps;
+  r(&time, sizeof(time));
+  r(&extent, sizeof(extent));
+  r(&steps, sizeof(steps));
+  require(std::fabs(extent - g.h() * g.cells_x()) < 1e-12 * extent,
+          "load_checkpoint: domain extent mismatch");
+  std::uint64_t sizes[2];
+  r(sizes, sizeof(sizes));
+  std::vector<std::uint8_t> comp(sizes[1]);
+  r(comp.data(), comp.size());
+
+  std::vector<std::uint8_t> raw(sizes[0]);
+  uLongf raw_len = static_cast<uLongf>(raw.size());
+  require(uncompress(raw.data(), &raw_len, comp.data(),
+                     static_cast<uLong>(comp.size())) == Z_OK &&
+              raw_len == sizes[0],
+          "load_checkpoint: zlib failure");
+  require(raw.size() == g.cell_count() * sizeof(Cell),
+          "load_checkpoint: payload size mismatch");
+
+  std::size_t off = 0;
+  for (int b = 0; b < g.block_count(); ++b) {
+    const std::size_t n = g.block(b).cells() * sizeof(Cell);
+    std::memcpy(g.block(b).data(), raw.data() + off, n);
+    off += n;
+  }
+  sim.restore_clock(time, steps);
+}
+
+}  // namespace mpcf::io

@@ -1,0 +1,124 @@
+#include "io/compressed_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mpcf::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'P', 'C', 'F', 'C', 'Q', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const std::uint8_t*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t write_compressed(const std::string& path,
+                               const compression::CompressedQuantity& cq) {
+  // Header + directory first (so offsets are known), then blobs at offsets
+  // computed by an exclusive prefix sum over encoded sizes.
+  std::vector<std::uint8_t> header;
+  header.insert(header.end(), kMagic, kMagic + 8);
+  for (std::int32_t v : {cq.bx, cq.by, cq.bz, cq.block_size, cq.levels, cq.quantity})
+    put(header, v);
+  put(header, cq.eps);
+  put(header, static_cast<std::uint8_t>(cq.derived_pressure));
+  put(header, static_cast<std::uint8_t>(cq.coder));
+  const std::uint8_t pad[2] = {0, 0};
+  header.insert(header.end(), pad, pad + 2);
+  put(header, static_cast<std::uint32_t>(cq.streams.size()));
+
+  // Directory size is data-independent given the id counts, so compute it,
+  // then run the exclusive scan for the blob offsets.
+  std::uint64_t dir_bytes = 0;
+  for (const auto& s : cq.streams)
+    dir_bytes += 4 + 8 + 8 + 8 + 4ull * s.block_ids.size();
+  std::uint64_t offset = header.size() + dir_bytes;
+
+  std::vector<std::uint8_t> dir;
+  dir.reserve(dir_bytes);
+  for (const auto& s : cq.streams) {
+    put(dir, static_cast<std::uint32_t>(s.block_ids.size()));
+    put(dir, s.raw_bytes);
+    put(dir, static_cast<std::uint64_t>(s.data.size()));
+    put(dir, offset);  // exclusive prefix sum over stream sizes
+    for (std::uint32_t id : s.block_ids) put(dir, id);
+    offset += s.data.size();
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  require(f != nullptr, "write_compressed: cannot open " + path);
+  auto write_all = [&](const void* p, std::size_t n) {
+    require(std::fwrite(p, 1, n, f.get()) == n, "write_compressed: short write");
+  };
+  write_all(header.data(), header.size());
+  write_all(dir.data(), dir.size());
+  for (const auto& s : cq.streams)
+    if (!s.data.empty()) write_all(s.data.data(), s.data.size());
+  return offset;
+}
+
+compression::CompressedQuantity read_compressed(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  require(f != nullptr, "read_compressed: cannot open " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  require(size > 44, "read_compressed: file too small");
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  require(std::fread(bytes.data(), 1, bytes.size(), f.get()) == bytes.size(),
+          "read_compressed: short read");
+
+  const std::uint8_t* p = bytes.data();
+  require(std::memcmp(p, kMagic, 8) == 0, "read_compressed: bad magic");
+  p += 8;
+  compression::CompressedQuantity cq;
+  cq.bx = get<std::int32_t>(p);
+  cq.by = get<std::int32_t>(p);
+  cq.bz = get<std::int32_t>(p);
+  cq.block_size = get<std::int32_t>(p);
+  cq.levels = get<std::int32_t>(p);
+  cq.quantity = get<std::int32_t>(p);
+  cq.eps = get<float>(p);
+  cq.derived_pressure = get<std::uint8_t>(p) != 0;
+  cq.coder = static_cast<compression::Coder>(get<std::uint8_t>(p));
+  p += 2;  // pad
+  const auto nstreams = get<std::uint32_t>(p);
+  cq.streams.resize(nstreams);
+  for (auto& s : cq.streams) {
+    const auto nids = get<std::uint32_t>(p);
+    s.raw_bytes = get<std::uint64_t>(p);
+    const auto blob_size = get<std::uint64_t>(p);
+    const auto blob_offset = get<std::uint64_t>(p);
+    s.block_ids.resize(nids);
+    for (auto& id : s.block_ids) id = get<std::uint32_t>(p);
+    require(blob_offset + blob_size <= bytes.size(), "read_compressed: bad offsets");
+    s.data.assign(bytes.data() + blob_offset, bytes.data() + blob_offset + blob_size);
+  }
+  return cq;
+}
+
+}  // namespace mpcf::io

@@ -1,0 +1,31 @@
+// On-disk format for compressed quantity dumps: one file per quantity per
+// step, exactly as in the paper (Section 6, "MPI parallel file I/O is
+// employed to generate a single compressed file per quantity"). Streams are
+// placed at offsets computed by an exclusive prefix sum over their encoded
+// sizes — the serial equivalent of the MPI_Exscan + collective-write scheme;
+// the cluster layer reuses this writer through the same offset discipline.
+//
+// Layout (little endian):
+//   magic "MPCFCQ01"                                    8 bytes
+//   i32 bx, by, bz, block_size, levels, quantity        24
+//   f32 eps, u8 derived_pressure, u8 pad[3]             8
+//   u32 stream_count                                    4
+//   per stream: u32 id_count, u64 raw_bytes, u64 size,  20 + ids
+//               u64 offset (from file start), u32 ids[]
+//   stream blobs at their offsets
+#pragma once
+
+#include <string>
+
+#include "compression/compressor.h"
+
+namespace mpcf::io {
+
+/// Writes a compressed quantity dump; returns total bytes written.
+std::uint64_t write_compressed(const std::string& path,
+                               const compression::CompressedQuantity& cq);
+
+/// Reads a dump written by write_compressed.
+[[nodiscard]] compression::CompressedQuantity read_compressed(const std::string& path);
+
+}  // namespace mpcf::io

@@ -1,0 +1,108 @@
+#include "io/ppm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mpcf::io {
+
+namespace {
+
+struct Rgb {
+  unsigned char r, g, b;
+};
+
+/// Blue-white-red diverging map on t in [0,1].
+Rgb diverging(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  const auto lerp = [](double a, double b, double u) { return a + (b - a) * u; };
+  double r, g, b;
+  if (t < 0.5) {
+    const double u = t / 0.5;
+    r = lerp(0.23, 1.0, u);
+    g = lerp(0.30, 1.0, u);
+    b = lerp(0.75, 1.0, u);
+  } else {
+    const double u = (t - 0.5) / 0.5;
+    r = lerp(1.0, 0.86, u);
+    g = lerp(1.0, 0.20, u);
+    b = lerp(1.0, 0.18, u);
+  }
+  return {static_cast<unsigned char>(255 * r), static_cast<unsigned char>(255 * g),
+          static_cast<unsigned char>(255 * b)};
+}
+
+void write_ppm(const std::string& path, int w, int h, const std::vector<Rgb>& pix) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  require(f != nullptr, "write_ppm: cannot open " + path);
+  std::fprintf(f, "P6\n%d %d\n255\n", w, h);
+  std::fwrite(pix.data(), sizeof(Rgb), pix.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+void write_field_slice_ppm(const std::string& path, const FieldView3D<const float>& f,
+                           int z_cell, double vmin, double vmax) {
+  const int w = f.nx(), h = f.ny();
+  const int z = z_cell < 0 ? f.nz() / 2 : z_cell;
+  require(z >= 0 && z < f.nz(), "write_field_slice_ppm: slice out of range");
+  if (vmin == vmax) {
+    vmin = f(0, 0, z);
+    vmax = vmin;
+    for (int j = 0; j < h; ++j)
+      for (int i = 0; i < w; ++i) {
+        vmin = std::min(vmin, static_cast<double>(f(i, j, z)));
+        vmax = std::max(vmax, static_cast<double>(f(i, j, z)));
+      }
+    if (vmin == vmax) vmax = vmin + 1;
+  }
+  std::vector<Rgb> pix(static_cast<std::size_t>(w) * h);
+  for (int j = 0; j < h; ++j)
+    for (int i = 0; i < w; ++i)
+      pix[i + static_cast<std::size_t>(w) * j] =
+          diverging((f(i, j, z) - vmin) / (vmax - vmin));
+  write_ppm(path, w, h, pix);
+}
+
+void write_pressure_slice_ppm(const std::string& path, const Grid& grid,
+                              const SliceRenderOptions& opt) {
+  const int w = grid.cells_x(), h = grid.cells_y();
+  const int z = opt.z_cell < 0 ? grid.cells_z() / 2 : opt.z_cell;
+  require(z >= 0 && z < grid.cells_z(), "write_pressure_slice_ppm: slice out of range");
+
+  std::vector<double> p(static_cast<std::size_t>(w) * h);
+  std::vector<double> alpha(p.size());
+  double vmin = 1e300, vmax = -1e300;
+  for (int j = 0; j < h; ++j)
+    for (int i = 0; i < w; ++i) {
+      const Cell& c = grid.cell(i, j, z);
+      const double ke =
+          0.5 * (double(c.ru) * c.ru + double(c.rv) * c.rv + double(c.rw) * c.rw) / c.rho;
+      const double pr = (c.E - ke - c.P) / c.G;
+      p[i + static_cast<std::size_t>(w) * j] = pr;
+      alpha[i + static_cast<std::size_t>(w) * j] =
+          (c.G - opt.G_liquid) / (opt.G_vapor - opt.G_liquid);
+      vmin = std::min(vmin, pr);
+      vmax = std::max(vmax, pr);
+    }
+  if (opt.vmin != opt.vmax) {
+    vmin = opt.vmin;
+    vmax = opt.vmax;
+  }
+  if (vmin == vmax) vmax = vmin + 1;
+
+  std::vector<Rgb> pix(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    pix[i] = diverging((p[i] - vmin) / (vmax - vmin));
+    if (opt.overlay_interface && alpha[i] > 0.25 && alpha[i] < 0.75)
+      pix[i] = {255, 255, 255};
+  }
+  write_ppm(path, w, h, pix);
+}
+
+}  // namespace mpcf::io

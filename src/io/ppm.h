@@ -1,0 +1,30 @@
+// Minimal image output for the visualization figures (paper Figs. 4/6/8):
+// renders a z-slice of a scalar field to a PPM image with a blue-white-red
+// colormap, optionally overlaying the liquid/vapor interface in white.
+#pragma once
+
+#include <string>
+
+#include "common/field3d.h"
+#include "grid/grid.h"
+
+namespace mpcf::io {
+
+struct SliceRenderOptions {
+  int z_cell = -1;          ///< slice index; -1 = mid-plane
+  double vmin = 0;          ///< colormap range; vmin==vmax -> auto
+  double vmax = 0;
+  bool overlay_interface = true;  ///< paint cells with vapor fraction ~0.5 white
+  double G_vapor = 2.5;
+  double G_liquid = 0.1788908765652951;  // liquid Gamma of the paper materials
+};
+
+/// Renders the pressure field of a grid z-slice to `path` (binary PPM).
+void write_pressure_slice_ppm(const std::string& path, const Grid& grid,
+                              const SliceRenderOptions& opt = {});
+
+/// Renders an arbitrary scalar field slice.
+void write_field_slice_ppm(const std::string& path, const FieldView3D<const float>& f,
+                           int z_cell, double vmin, double vmax);
+
+}  // namespace mpcf::io

@@ -1,0 +1,81 @@
+// HLLE (Harten–Lax–van Leer–Einfeldt) numerical flux for the two-phase
+// Euler system (paper Section 3, ref [78]), with the quasi-conservative
+// treatment of the advected EOS pair (Gamma, Pi): their flux is the HLLE
+// flux of (phi * u) and the companion face velocity `ustar` feeds the
+// phi * div(u) correction that keeps pressure/velocity equilibria across
+// material interfaces (Johnsen & Ham, ref [45]).
+//
+// Templated over the scalar type: `float` reference and `simd::vec4`.
+#pragma once
+
+#include "simd/scalar_ops.h"
+#include "simd/vec4.h"
+
+namespace mpcf::kernels {
+
+/// FLOPs of one hlle_flux evaluation (counted; for the perf models).
+inline constexpr int kHlleFlops = 79;
+
+/// Primitive face state; `u` is the face-normal velocity, v/w transverse.
+template <typename T>
+struct FaceState {
+  T r, u, v, w, p, G, P;
+};
+
+/// Fluxes of all seven components plus the consistent face velocity.
+template <typename T>
+struct Flux {
+  T rho, ru, rv, rw, E, G, P;
+  T ustar;
+};
+
+template <typename T>
+[[nodiscard]] inline Flux<T> hlle_flux(const FaceState<T>& m, const FaceState<T>& p) {
+  using simd::fmadd;
+  using simd::max;
+  using simd::min;
+  using simd::sqrt;
+
+  const T half = T(0.5f);
+  const T one = T(1.0f);
+
+  // Mixture sound speeds: c^2 = (p(G+1) + Pi) / (G r). WENO can overshoot
+  // into (slightly) inadmissible face states near very sharp interfaces; the
+  // positivity clamp keeps the signal speeds finite and well-ordered there
+  // (and keeps scalar/SSE NaN semantics from diverging).
+  const T c2_floor = T(1e-12f);
+  const T cm = sqrt(max((m.p * (m.G + one) + m.P) / (m.G * m.r), c2_floor));
+  const T cp = sqrt(max((p.p * (p.G + one) + p.P) / (p.G * p.r), c2_floor));
+
+  // Davis/Einfeldt signal speed bounds.
+  const T sm = min(m.u - cm, p.u - cp);
+  const T sp = max(m.u + cm, p.u + cp);
+  const T s_minus = min(sm, T(0.0f));
+  const T s_plus = max(sp, T(0.0f));
+  const T inv_ds = one / (s_plus - s_minus);
+
+  // Conserved states.
+  const T kem = half * m.r * fmadd(m.u, m.u, fmadd(m.v, m.v, m.w * m.w));
+  const T kep = half * p.r * fmadd(p.u, p.u, fmadd(p.v, p.v, p.w * p.w));
+  const T Em = fmadd(m.G, m.p, m.P + kem);
+  const T Ep = fmadd(p.G, p.p, p.P + kep);
+
+  // Physical fluxes on both sides.
+  const T mm = m.r * m.u, mp = p.r * p.u;  // mass fluxes
+  const auto blend = [&](T fL, T fR, T uL, T uR) {
+    return (s_plus * fL - s_minus * fR + s_plus * s_minus * (uR - uL)) * inv_ds;
+  };
+
+  Flux<T> f;
+  f.rho = blend(mm, mp, m.r, p.r);
+  f.ru = blend(fmadd(mm, m.u, m.p), fmadd(mp, p.u, p.p), m.r * m.u, p.r * p.u);
+  f.rv = blend(mm * m.v, mp * p.v, m.r * m.v, p.r * p.v);
+  f.rw = blend(mm * m.w, mp * p.w, m.r * m.w, p.r * p.w);
+  f.E = blend((Em + m.p) * m.u, (Ep + p.p) * p.u, Em, Ep);
+  f.G = blend(m.G * m.u, p.G * p.u, m.G, p.G);
+  f.P = blend(m.P * m.u, p.P * p.u, m.P, p.P);
+  f.ustar = (s_plus * m.u - s_minus * p.u) * inv_ds;
+  return f;
+}
+
+}  // namespace mpcf::kernels

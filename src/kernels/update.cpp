@@ -1,0 +1,29 @@
+#include "kernels/update.h"
+
+#include "simd/vec4.h"
+
+namespace mpcf::kernels {
+
+void update_block(Block& block, Real bdt) {
+  const std::size_t total = block.cells() * kNumQuantities;
+  float* data = &block.data()->rho;
+  const float* tmp = &block.tmp_data()->rho;
+  for (std::size_t i = 0; i < total; ++i) data[i] += bdt * tmp[i];
+}
+
+void update_block_simd(Block& block, Real bdt) {
+  const std::size_t total = block.cells() * kNumQuantities;
+  float* data = &block.data()->rho;
+  const float* tmp = &block.tmp_data()->rho;
+  const simd::vec4 b(bdt);
+  std::size_t i = 0;
+  for (; i + 4 <= total; i += 4)
+    simd::fmadd(b, simd::vec4::loadu(tmp + i), simd::vec4::loadu(data + i)).storeu(data + i);
+  for (; i < total; ++i) data[i] += bdt * tmp[i];
+}
+
+double update_flops(int bs) {
+  return 2.0 * kNumQuantities * bs * bs * static_cast<double>(bs);
+}
+
+}  // namespace mpcf::kernels

@@ -1,0 +1,20 @@
+// UP kernel (paper Fig. 1): the low-storage Runge-Kutta state update
+// u <- u + b*dt * du. Pure streaming axpy over the block storage — the
+// paper's lowest operational-intensity kernel (0.2 FLOP/B, Table 3), which
+// is why it stays at ~2% of peak regardless of vectorization (Table 7).
+#pragma once
+
+#include "grid/block.h"
+
+namespace mpcf::kernels {
+
+/// Scalar reference: data += bdt * tmp, all quantities, all cells.
+void update_block(Block& block, Real bdt);
+
+/// 4-wide SIMD implementation.
+void update_block_simd(Block& block, Real bdt);
+
+/// Analytic FLOP count of one block update.
+[[nodiscard]] double update_flops(int bs);
+
+}  // namespace mpcf::kernels

@@ -1,0 +1,86 @@
+// Fifth-order Weighted Essentially Non-Oscillatory reconstruction
+// (Jiang & Shu 1996, ref [42] of the paper), applied to primitive
+// quantities. Templated over the scalar type so the identical expression
+// tree runs in `float` (reference) and `simd::vec4` (4-wide) form.
+#pragma once
+
+#include "simd/scalar_ops.h"
+#include "simd/vec4.h"
+
+namespace mpcf::kernels {
+
+/// Number of floating-point operations in one weno5_minus evaluation
+/// (counted from the expression below; used by the perf models).
+inline constexpr int kWenoFlops = 96;
+
+/// Left-biased reconstruction at face i+1/2 from cells
+/// a=q[i-2], b=q[i-1], c=q[i], d=q[i+1], e=q[i+2].
+template <typename T>
+[[nodiscard]] inline T weno5_minus(T a, T b, T c, T d, T e) {
+  using simd::fmadd;
+
+  const T k13_12 = T(13.0f / 12.0f);
+  const T k1_4 = T(0.25f);
+  const T eps = T(1e-6f);
+
+  const T s0a = a - T(2.0f) * b + c;
+  const T s0b = a - T(4.0f) * b + T(3.0f) * c;
+  const T beta0 = fmadd(k13_12 * s0a, s0a, k1_4 * s0b * s0b);
+
+  const T s1a = b - T(2.0f) * c + d;
+  const T s1b = b - d;
+  const T beta1 = fmadd(k13_12 * s1a, s1a, k1_4 * s1b * s1b);
+
+  const T s2a = c - T(2.0f) * d + e;
+  const T s2b = T(3.0f) * c - T(4.0f) * d + e;
+  const T beta2 = fmadd(k13_12 * s2a, s2a, k1_4 * s2b * s2b);
+
+  const T i0 = eps + beta0;
+  const T i1 = eps + beta1;
+  const T i2 = eps + beta2;
+  const T alpha0 = T(0.1f) / (i0 * i0);
+  const T alpha1 = T(0.6f) / (i1 * i1);
+  const T alpha2 = T(0.3f) / (i2 * i2);
+
+  const T q0 = T(2.0f) * a - T(7.0f) * b + T(11.0f) * c;
+  const T q1 = -b + T(5.0f) * c + T(2.0f) * d;
+  const T q2 = T(2.0f) * c + T(5.0f) * d - e;
+
+  const T num = fmadd(alpha0, q0, fmadd(alpha1, q1, alpha2 * q2));
+  const T den = T(6.0f) * (alpha0 + alpha1 + alpha2);
+  return num / den;
+}
+
+/// Right-biased reconstruction at face i+1/2 from cells
+/// a=q[i-1], b=q[i], c=q[i+1], d=q[i+2], e=q[i+3] — the mirror image.
+template <typename T>
+[[nodiscard]] inline T weno5_plus(T a, T b, T c, T d, T e) {
+  return weno5_minus(e, d, c, b, a);
+}
+
+/// FLOPs of one weno3_minus evaluation (for the ablation's perf model).
+inline constexpr int kWeno3Flops = 24;
+
+/// Third-order WENO: left-biased value at face i+1/2 from a=q[i-1], b=q[i],
+/// c=q[i+1]. The low-order comparator for the spatial-order ablation (the
+/// paper's Section 5 key decision argues for the higher order).
+template <typename T>
+[[nodiscard]] inline T weno3_minus(T a, T b, T c) {
+  const T eps = T(1e-6f);
+  const T d0 = b - a;
+  const T d1 = c - b;
+  const T b0 = eps + d0 * d0;
+  const T b1 = eps + d1 * d1;
+  const T alpha0 = T(1.0f / 3.0f) / (b0 * b0);
+  const T alpha1 = T(2.0f / 3.0f) / (b1 * b1);
+  const T q0 = T(1.5f) * b - T(0.5f) * a;
+  const T q1 = T(0.5f) * (b + c);
+  return (alpha0 * q0 + alpha1 * q1) / (alpha0 + alpha1);
+}
+
+template <typename T>
+[[nodiscard]] inline T weno3_plus(T a, T b, T c) {
+  return weno3_minus(c, b, a);
+}
+
+}  // namespace mpcf::kernels

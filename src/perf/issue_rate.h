@@ -1,0 +1,29 @@
+// Issue-rate performance model (paper Table 8): the RHS kernel is decomposed
+// into its five stages; each stage's FLOP/instruction density bounds the
+// fraction of peak it can reach on a machine that issues one 4-wide SIMD
+// instruction per cycle with a maximum of 8 flops per instruction (4-wide
+// FMA). peak_bound = (flops/instr) * 4 / 8.
+//
+// Operation counts are taken from the kernel expression trees in
+// kernels/weno.h, kernels/hlle.h and kernels/rhs.cpp: `flops` counts an FMA
+// as 2, `fma` counts fused ops, and instructions = flops - fma (every
+// non-fused arithmetic op is one instruction). Loads/stores are excluded, as
+// in the paper's upper-bound analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpcf::perf {
+
+struct StageIssueModel {
+  std::string name;
+  double weight;           ///< fraction of the RHS flops spent in this stage
+  double flops_per_instr;  ///< scalar density (paper reports this "x 4")
+  double peak_bound;       ///< max achievable fraction of nominal peak
+};
+
+/// The five RHS stages plus the weighted ALL row (last entry).
+[[nodiscard]] std::vector<StageIssueModel> issue_rate_model(int bs);
+
+}  // namespace mpcf::perf

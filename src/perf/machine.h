@@ -1,0 +1,53 @@
+// Machine models for the roofline analysis and the scaling projections
+// (paper Tables 1, 2 and Section 4). Nominal figures are the paper's; the
+// host model is measured at runtime (see microbench.h) so every "% of peak"
+// we report is relative to hardware we actually ran on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpcf::perf {
+
+struct MachineModel {
+  std::string name;
+  double peak_gflops;  ///< nominal peak per node/chip
+  double mem_bw_gbs;   ///< measured DRAM bandwidth per node/chip
+
+  /// Operational intensity above which a kernel is compute-bound.
+  [[nodiscard]] double ridge_point() const { return peak_gflops / mem_bw_gbs; }
+
+  /// Roofline-attainable performance for a kernel of the given intensity.
+  [[nodiscard]] double attainable_gflops(double oi) const {
+    const double mem = oi * mem_bw_gbs;
+    return mem < peak_gflops ? mem : peak_gflops;
+  }
+};
+
+/// Paper Table 2: one Blue Gene/Q compute chip.
+inline const MachineModel kBqc{"BGQ chip (BQC)", 204.8, 28.0};
+/// Paper Section 4: Cray XE6 node (Monte Rosa) and XC30 node (Piz Daint).
+inline const MachineModel kMonteRosaNode{"Monte Rosa XE6 node", 540.0, 60.0};
+inline const MachineModel kPizDaintNode{"Piz Daint XC30 node", 670.0, 80.0};
+
+/// Paper Table 1: the BGQ installations.
+struct Installation {
+  std::string name;
+  int racks;
+  double cores;
+  double peak_pflops;
+};
+
+inline const std::vector<Installation>& bgq_installations() {
+  static const std::vector<Installation> v{
+      {"Sequoia", 96, 1.6e6, 20.1},
+      {"Juqueen", 24, 6.9e5, 5.0},
+      {"ZRL", 1, 1.6e4, 0.2},
+  };
+  return v;
+}
+
+/// Nominal peak of one BGQ rack (32 node boards, paper Section 4).
+inline constexpr double kRackPeakPflops = 0.21;
+
+}  // namespace mpcf::perf

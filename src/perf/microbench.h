@@ -1,0 +1,22 @@
+// Host capability measurements: peak floating-point throughput (dependent
+// FMA chains across many accumulators) and sustainable memory bandwidth
+// (STREAM-style triad). These anchor the host MachineModel so kernel "% of
+// peak" figures are meaningful on the reproduction hardware (paper Table 2
+// analogue).
+#pragma once
+
+#include "perf/machine.h"
+
+namespace mpcf::perf {
+
+/// Peak single-precision GFLOP/s of one core (vec4 FMA chains).
+[[nodiscard]] double measure_peak_gflops(double seconds_budget = 0.2);
+
+/// Sustainable DRAM bandwidth in GB/s (triad a[i] = b[i] + s*c[i] over a
+/// cache-busting working set).
+[[nodiscard]] double measure_bandwidth_gbs(double seconds_budget = 0.2);
+
+/// Measured host model (cached after the first call).
+[[nodiscard]] const MachineModel& host_machine();
+
+}  // namespace mpcf::perf

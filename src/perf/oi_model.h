@@ -1,0 +1,37 @@
+// Operational-intensity model (paper Table 3): compulsory off-chip traffic
+// of the three step kernels, with and without the data-reordering strategy
+// of Section 5 (blocks + labs + SoA slices vs a naive cache-hostile
+// traversal of the global AoS array).
+//
+// Traffic accounting:
+//  * reordered  — every block is streamed once per kernel: the ghost-
+//    extended lab is read (n^3 cells, n = bs+2g), the RK accumulator is
+//    read and written, everything else stays in cache.
+//  * naive      — directional sweeps over the full domain with no blocking:
+//    stencil operands miss (z-major strides exceed any cache), so each of
+//    the 6 stencil cells of each of the 7 quantities is charged per face;
+//    pointwise kernels are charged at cache-line granularity (an AoS cell
+//    straddles up to 2 lines when the traversal order gives no reuse).
+#pragma once
+
+#include "kernels/rhs.h"
+#include "kernels/sos.h"
+#include "kernels/update.h"
+
+namespace mpcf::perf {
+
+struct KernelTraffic {
+  double flops = 0;
+  double bytes_naive = 0;
+  double bytes_reordered = 0;
+
+  [[nodiscard]] double oi_naive() const { return flops / bytes_naive; }
+  [[nodiscard]] double oi_reordered() const { return flops / bytes_reordered; }
+  [[nodiscard]] double reorder_factor() const { return oi_reordered() / oi_naive(); }
+};
+
+[[nodiscard]] KernelTraffic rhs_traffic(int bs);
+[[nodiscard]] KernelTraffic dt_traffic(int bs);
+[[nodiscard]] KernelTraffic up_traffic(int bs);
+
+}  // namespace mpcf::perf

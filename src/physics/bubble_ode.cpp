@@ -1,0 +1,83 @@
+#include "physics/bubble_ode.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mpcf::physics {
+
+namespace {
+
+struct Derivs {
+  double dR;
+  double dV;
+};
+
+double bubble_pressure(const BubbleOdeParams& p, double R) {
+  return p.p_bubble0 * std::pow(p.R0 / R, 3.0 * p.kappa);
+}
+
+Derivs rhs(const BubbleOdeParams& p, BubbleModel model, double R, double V) {
+  const double pb = bubble_pressure(p, R);
+  const double dp = (pb - p.p_liquid) / p.rho;
+  if (model == BubbleModel::kRayleighPlesset) {
+    // R R'' + 3/2 R'^2 = (p_B - p_inf)/rho
+    return {V, (dp - 1.5 * V * V) / R};
+  }
+  // Keller-Miksis with polytropic contents:
+  // (1 - V/c) R V' + 3/2 V^2 (1 - V/(3c))
+  //     = (1 + V/c) dp + (R/c) d(dp)/dt,  d(p_B)/dt = -3 kappa p_B V / R.
+  const double inv_c = 1.0 / p.c;
+  const double lhs_factor = (1.0 - V * inv_c) * R;
+  const double forcing =
+      (1.0 + V * inv_c) * dp - 3.0 * p.kappa * pb * V / (p.rho * p.c);
+  const double inertia = 1.5 * V * V * (1.0 - V * inv_c / 3.0);
+  return {V, (forcing - inertia) / lhs_factor};
+}
+
+}  // namespace
+
+std::vector<BubbleState> integrate_bubble(const BubbleOdeParams& params,
+                                          BubbleModel model, double t_end, double dt,
+                                          double R_min_fraction, int sample_every) {
+  require(params.R0 > 0 && params.rho > 0 && dt > 0, "integrate_bubble: bad parameters");
+  require(sample_every >= 1, "integrate_bubble: sample_every must be >= 1");
+
+  std::vector<BubbleState> traj;
+  double t = 0, R = params.R0, V = 0;
+  traj.push_back({t, R, V});
+  long step = 0;
+  while (t < t_end && R > R_min_fraction * params.R0) {
+    // Classical RK4 on (R, V).
+    const Derivs k1 = rhs(params, model, R, V);
+    const Derivs k2 = rhs(params, model, R + 0.5 * dt * k1.dR, V + 0.5 * dt * k1.dV);
+    const Derivs k3 = rhs(params, model, R + 0.5 * dt * k2.dR, V + 0.5 * dt * k2.dV);
+    const Derivs k4 = rhs(params, model, R + dt * k3.dR, V + dt * k3.dV);
+    R += dt / 6.0 * (k1.dR + 2 * k2.dR + 2 * k3.dR + k4.dR);
+    V += dt / 6.0 * (k1.dV + 2 * k2.dV + 2 * k3.dV + k4.dV);
+    t += dt;
+    if (R <= 0) break;  // numerical collapse through zero
+    if (++step % sample_every == 0) traj.push_back({t, R, V});
+  }
+  if (traj.back().t != t && R > 0) traj.push_back({t, R, V});
+  return traj;
+}
+
+double rayleigh_collapse_time(const BubbleOdeParams& params) {
+  return 0.915 * params.R0 *
+         std::sqrt(params.rho / (params.p_liquid - params.p_bubble0));
+}
+
+double first_collapse_time(const std::vector<BubbleState>& traj) {
+  require(!traj.empty(), "first_collapse_time: empty trajectory");
+  double rmin = traj.front().R, tmin = traj.front().t;
+  for (const auto& s : traj) {
+    if (s.R < rmin) {
+      rmin = s.R;
+      tmin = s.t;
+    }
+  }
+  return tmin;
+}
+
+}  // namespace mpcf::physics

@@ -1,0 +1,54 @@
+// Classical single-bubble dynamics models — the theory the paper's
+// Section 2 positions the 3-D simulations against: "current estimates of
+// cavitation phenomena are largely based on the theory of single bubble
+// collapse as developed ... by Lord Rayleigh [61], and further extended by
+// Gilmore [25] and Hickling and Plesset [35]".
+//
+// Two ODE models are provided as comparison baselines for the flow solver:
+//   * Rayleigh-Plesset: incompressible liquid, the textbook collapse model;
+//   * Keller-Miksis: first-order liquid-compressibility correction (the
+//     lineage of Gilmore/Hickling-Plesset), which matters in the final
+//     collapse stage where the interface speed approaches the sound speed.
+//
+// Both treat the bubble contents as a polytropic gas, p_b = p_b0 (R0/R)^{3k},
+// and neglect viscosity and surface tension (as the paper's flow model does:
+// "viscous dissipation and capillary effects take place at orders of
+// magnitude larger time scales").
+#pragma once
+
+#include <vector>
+
+namespace mpcf::physics {
+
+struct BubbleOdeParams {
+  double R0 = 100e-6;        ///< initial radius [m]
+  double p_liquid = 100e5;   ///< driving far-field pressure [Pa]
+  double p_bubble0 = 2340.0; ///< initial bubble pressure [Pa]
+  double rho = 1000.0;       ///< liquid density [kg/m^3]
+  double c = 1600.0;         ///< liquid sound speed (Keller-Miksis) [m/s]
+  double kappa = 1.4;        ///< polytropic exponent of the contents
+};
+
+struct BubbleState {
+  double t;  ///< time [s]
+  double R;  ///< radius [m]
+  double V;  ///< interface velocity dR/dt [m/s]
+};
+
+enum class BubbleModel { kRayleighPlesset, kKellerMiksis };
+
+/// Integrates the model with classical RK4 at fixed dt until `t_end` or the
+/// radius drops below `R_min_fraction * R0` (collapse), whichever is first.
+/// Returns the sampled trajectory (every `sample_every` steps).
+[[nodiscard]] std::vector<BubbleState> integrate_bubble(
+    const BubbleOdeParams& params, BubbleModel model, double t_end, double dt,
+    double R_min_fraction = 0.05, int sample_every = 1);
+
+/// The Rayleigh collapse time of an empty cavity:
+/// tau = 0.915 R0 sqrt(rho / (p_inf - p_b)).
+[[nodiscard]] double rayleigh_collapse_time(const BubbleOdeParams& params);
+
+/// Time of the first radius minimum of a trajectory.
+[[nodiscard]] double first_collapse_time(const std::vector<BubbleState>& traj);
+
+}  // namespace mpcf::physics

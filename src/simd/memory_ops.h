@@ -1,0 +1,40 @@
+// Uniform load/accumulate surface so kernel templates run unchanged with
+// T=float (one element per step) and T=vec4 (four elements per step).
+#pragma once
+
+#include "simd/vec4.h"
+
+namespace mpcf::simd {
+
+template <typename T>
+struct Lanes;
+template <>
+struct Lanes<float> {
+  static constexpr int value = 1;
+};
+template <>
+struct Lanes<vec4> {
+  static constexpr int value = 4;
+};
+
+template <typename T>
+[[nodiscard]] inline T load_elems(const float* p);
+template <>
+[[nodiscard]] inline float load_elems<float>(const float* p) {
+  return *p;
+}
+template <>
+[[nodiscard]] inline vec4 load_elems<vec4>(const float* p) {
+  return vec4::loadu(p);
+}
+
+inline void store_elems(float* p, float v) { *p = v; }
+inline void store_elems(float* p, vec4 v) { v.storeu(p); }
+
+inline void add_store(float* p, float v) { *p += v; }
+inline void add_store(float* p, vec4 v) { (vec4::loadu(p) + v).storeu(p); }
+
+inline void sub_store(float* p, float v) { *p -= v; }
+inline void sub_store(float* p, vec4 v) { (vec4::loadu(p) - v).storeu(p); }
+
+}  // namespace mpcf::simd

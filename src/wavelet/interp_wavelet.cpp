@@ -1,0 +1,250 @@
+#include "wavelet/interp_wavelet.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/aligned_buffer.h"
+#include "simd/memory_ops.h"
+#include "simd/vec4.h"
+
+namespace mpcf::wavelet {
+
+namespace {
+
+/// Cubic (or reduced-order near short boundaries) Lagrange prediction of the
+/// odd sample between coarse samples k and k+1, from coarse array s[0..M).
+/// Templated so the four-row SIMD pass shares the exact expression tree.
+template <typename T, typename Load>
+inline T predict(Load s, int M, int k) {
+  const float k116 = 1.0f / 16.0f, k916 = 9.0f / 16.0f;
+  if (M >= 4) {
+    if (k >= 1 && k <= M - 3)
+      return T(k916) * (s(k) + s(k + 1)) - T(k116) * (s(k - 1) + s(k + 2));
+    if (k == 0)
+      return T(5 * k116) * s(0) + T(15 * k116) * s(1) - T(5 * k116) * s(2) +
+             T(k116) * s(3);
+    if (k == M - 2)
+      return T(k116) * s(M - 4) - T(5 * k116) * s(M - 3) + T(15 * k116) * s(M - 2) +
+             T(5 * k116) * s(M - 1);
+    // k == M-1: one-sided extrapolation past the last coarse sample.
+    return T(-5 * k116) * s(M - 4) + T(21 * k116) * s(M - 3) - T(35 * k116) * s(M - 2) +
+           T(35 * k116) * s(M - 1);
+  }
+  if (M == 3) {
+    if (k == 0) return T(0.375f) * s(0) + T(0.75f) * s(1) - T(0.125f) * s(2);
+    if (k == 1) return T(-0.125f) * s(0) + T(0.75f) * s(1) + T(0.375f) * s(2);
+    return T(0.375f) * s(0) - T(1.25f) * s(1) + T(1.875f) * s(2);
+  }
+  if (M == 2) {
+    if (k == 0) return T(0.5f) * (s(0) + s(1));
+    return T(1.5f) * s(1) - T(0.5f) * s(0);
+  }
+  return s(0);  // M == 1: constant prediction
+}
+
+/// Scalar row transform: a has unit stride.
+void forward_row(float* a, int n, float* scratch) {
+  const int M = n / 2;
+  for (int k = 0; k < M; ++k) scratch[k] = a[2 * k];
+  auto s = [&](int i) { return scratch[i]; };
+  for (int k = 0; k < M; ++k)
+    scratch[M + k] = a[2 * k + 1] - predict<float>(s, M, k);
+  std::memcpy(a, scratch, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+void inverse_row(float* a, int n, float* scratch) {
+  const int M = n / 2;
+  auto s = [&](int i) { return a[i]; };  // coarse is packed at the front
+  for (int k = 0; k < M; ++k) {
+    scratch[2 * k] = a[k];
+    scratch[2 * k + 1] = a[M + k] + predict<float>(s, M, k);
+  }
+  std::memcpy(a, scratch, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+/// Four-row lockstep forward transform; rows start at r0..r0+3*stride.
+void forward_row4(float* r0, std::ptrdiff_t stride, int n, float* scratch4) {
+  using simd::vec4;
+  const int M = n / 2;
+  // scratch4 layout: [coarse (4M) | details (4M)], lane-interleaved.
+  auto gather = [&](int i) {
+    return vec4(r0[i], r0[i + stride], r0[i + 2 * stride], r0[i + 3 * stride]);
+  };
+  for (int k = 0; k < M; ++k) gather(2 * k).store(scratch4 + 4 * k);
+  auto s = [&](int i) { return vec4::load(scratch4 + 4 * i); };
+  for (int k = 0; k < M; ++k) {
+    const vec4 d = gather(2 * k + 1) - predict<vec4>(s, M, k);
+    d.store(scratch4 + 4 * (M + k));
+  }
+  // Scatter back (the 4x4 repacking overhead the paper notes).
+  for (int i = 0; i < n; ++i) {
+    alignas(16) float lanes[4];
+    vec4::load(scratch4 + 4 * i).store(lanes);
+    r0[i] = lanes[0];
+    r0[i + stride] = lanes[1];
+    r0[i + 2 * stride] = lanes[2];
+    r0[i + 3 * stride] = lanes[3];
+  }
+}
+
+enum class Pass { kForward, kInverse, kForwardSimd };
+
+/// Applies the 1-D transform along x to every row of the leading m^3
+/// sub-cube of f.
+void filter_rows(FieldView3D<float> f, int m, Pass pass) {
+  const int n = f.nx();
+  AlignedBuffer<float> scratch(static_cast<std::size_t>(4) * m);
+  float* base = f.data();
+  for (int z = 0; z < m; ++z) {
+    int y = 0;
+    if (pass == Pass::kForwardSimd) {
+      for (; y + 4 <= m; y += 4)
+        forward_row4(base + static_cast<std::ptrdiff_t>(n) * (y + static_cast<std::ptrdiff_t>(n) * z),
+                     n, m, scratch.data());
+    }
+    for (; y < m; ++y) {
+      float* row = base + static_cast<std::ptrdiff_t>(n) * (y + static_cast<std::ptrdiff_t>(n) * z);
+      if (pass == Pass::kInverse)
+        inverse_row(row, m, scratch.data());
+      else
+        forward_row(row, m, scratch.data());
+    }
+  }
+}
+
+void transpose_xy_sub(FieldView3D<float> f, int m) {
+  for (int z = 0; z < m; ++z)
+    for (int j = 0; j < m; ++j)
+      for (int i = j + 1; i < m; ++i) std::swap(f(i, j, z), f(j, i, z));
+}
+
+void transpose_xz_sub(FieldView3D<float> f, int m) {
+  for (int k = 0; k < m; ++k)
+    for (int j = 0; j < m; ++j)
+      for (int i = k + 1; i < m; ++i) std::swap(f(i, j, k), f(k, j, i));
+}
+
+void check_shape(const FieldView3D<float>& f, int levels) {
+  require(f.nx() == f.ny() && f.ny() == f.nz(), "wavelet: cube required");
+  require(levels >= 0 && levels <= max_levels(f.nx()),
+          "wavelet: too many levels for this edge length");
+}
+
+}  // namespace
+
+int max_levels(int n) {
+  int l = 0;
+  while (n >= 4 && n % 2 == 0) {
+    n /= 2;
+    ++l;
+  }
+  return l;
+}
+
+void forward_1d(float* data, int n, float* scratch) {
+  require(n >= 2 && n % 2 == 0, "forward_1d: even length >= 2 required");
+  forward_row(data, n, scratch);
+}
+
+void inverse_1d(float* data, int n, float* scratch) {
+  require(n >= 2 && n % 2 == 0, "inverse_1d: even length >= 2 required");
+  inverse_row(data, n, scratch);
+}
+
+void forward_3d(FieldView3D<float> f, int levels) {
+  check_shape(f, levels);
+  for (int l = 0; l < levels; ++l) {
+    const int m = f.nx() >> l;
+    filter_rows(f, m, Pass::kForward);
+    transpose_xy_sub(f, m);
+    filter_rows(f, m, Pass::kForward);
+    transpose_xy_sub(f, m);
+    transpose_xz_sub(f, m);
+    filter_rows(f, m, Pass::kForward);
+    transpose_xz_sub(f, m);
+  }
+}
+
+void forward_3d_simd(FieldView3D<float> f, int levels) {
+  check_shape(f, levels);
+  for (int l = 0; l < levels; ++l) {
+    const int m = f.nx() >> l;
+    filter_rows(f, m, Pass::kForwardSimd);
+    transpose_xy_sub(f, m);
+    filter_rows(f, m, Pass::kForwardSimd);
+    transpose_xy_sub(f, m);
+    transpose_xz_sub(f, m);
+    filter_rows(f, m, Pass::kForwardSimd);
+    transpose_xz_sub(f, m);
+  }
+}
+
+void inverse_3d(FieldView3D<float> f, int levels) {
+  check_shape(f, levels);
+  for (int l = levels - 1; l >= 0; --l) {
+    const int m = f.nx() >> l;
+    transpose_xz_sub(f, m);
+    filter_rows(f, m, Pass::kInverse);
+    transpose_xz_sub(f, m);
+    transpose_xy_sub(f, m);
+    filter_rows(f, m, Pass::kInverse);
+    transpose_xy_sub(f, m);
+    filter_rows(f, m, Pass::kInverse);
+  }
+}
+
+void transpose_xy(FieldView3D<float> f) { transpose_xy_sub(f, f.nx()); }
+void transpose_xz(FieldView3D<float> f) { transpose_xz_sub(f, f.nx()); }
+
+DecimationStats decimate(FieldView3D<float> f, int levels, float eps, ThresholdMode mode) {
+  check_shape(f, levels);
+  DecimationStats stats;
+  const int n = f.nx();
+  // Measured worst-case L-inf amplification of a single zeroed detail of
+  // shell l through the full 3-D synthesis (dominated by the one-sided
+  // boundary extrapolation stencils); see tests/test_wavelet.cpp. Entries
+  // beyond level 5 extrapolate the observed growth.
+  static constexpr float kShellAmp[] = {1.0f, 1.0f, 10.5f, 27.3f, 42.2f, 66.0f};
+  const auto shell_amp = [](int l) {
+    return l < 6 ? kShellAmp[l] : kShellAmp[5] * std::pow(1.6f, static_cast<float>(l - 5));
+  };
+  for (int l = 1; l <= levels; ++l) {
+    // Detail shell of level l: indices with max coordinate in [n>>l, n>>(l-1)).
+    const int s = n >> l;
+    const int e = n >> (l - 1);
+    // Guaranteed mode splits the error budget across levels and divides by
+    // the per-shell amplification so the accumulated L-inf error stays
+    // below eps; uniform mode reproduces the paper's reported thresholds.
+    // Overlap factor: up to ~8 synthesis functions of one shell contribute
+    // at a point (2 per dimension), measured on adversarial sign patterns.
+    const float kOverlap = 8.0f;
+    const float thresh = (mode == ThresholdMode::kUniform)
+                             ? eps
+                             : eps / (static_cast<float>(levels) * kOverlap * shell_amp(l));
+    for (int k = 0; k < e; ++k)
+      for (int j = 0; j < e; ++j)
+        for (int i = 0; i < e; ++i) {
+          if (i < s && j < s && k < s) continue;  // coarse corner of level l
+          ++stats.total;
+          float& v = f(i, j, k);
+          if (std::fabs(v) < thresh) {
+            v = 0.0f;
+            ++stats.decimated;
+          }
+        }
+  }
+  return stats;
+}
+
+double fwt_flops(int n, int levels) {
+  // Per level: 3 directional passes, each producing (m/2)*m^2 details at
+  // ~8 flops (4 mul + 4 add/sub) per detail.
+  double total = 0;
+  for (int l = 0; l < levels; ++l) {
+    const double m = static_cast<double>(n >> l);
+    total += 3.0 * 8.0 * (m / 2.0) * m * m;
+  }
+  return total;
+}
+
+}  // namespace mpcf::wavelet

@@ -1,0 +1,135 @@
+#include "workload/cloud.h"
+
+#include <cmath>
+#include <random>
+
+#include "common/error.h"
+
+namespace mpcf {
+
+std::vector<Bubble> generate_cloud(const CloudParams& params, double extent) {
+  require(params.count > 0, "generate_cloud: count must be positive");
+  require(params.box_lo < params.box_hi, "generate_cloud: empty placement box");
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> upos(params.box_lo * extent, params.box_hi * extent);
+  std::lognormal_distribution<double> urad(params.lognormal_mu, params.lognormal_sigma);
+
+  std::vector<Bubble> cloud;
+  cloud.reserve(params.count);
+  int attempts = 0;
+  while (static_cast<int>(cloud.size()) < params.count) {
+    require(++attempts <= params.max_attempts,
+            "generate_cloud: could not place all bubbles (region too dense)");
+    Bubble b{upos(rng), upos(rng), upos(rng), 0.0};
+    // Clipped lognormal radius (paper: 50-200 micron band).
+    double r = urad(rng);
+    if (r < params.r_min || r > params.r_max) continue;
+    b.r = r;
+
+    bool ok = true;
+    for (const Bubble& o : cloud) {
+      const double dx = b.x - o.x, dy = b.y - o.y, dz = b.z - o.z;
+      const double d2 = dx * dx + dy * dy + dz * dz;
+      const double dmin = params.separation * (b.r + o.r);
+      if (d2 < dmin * dmin) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) cloud.push_back(b);
+  }
+  return cloud;
+}
+
+double vapor_fraction(double x, double y, double z, const std::vector<Bubble>& bubbles,
+                      double delta) {
+  // Diffuse-interface indicator: 1 inside a bubble, 0 outside, smooth
+  // transition of width ~delta. Bubbles do not overlap, so taking the max
+  // over bubbles is exact.
+  double alpha = 0.0;
+  for (const Bubble& b : bubbles) {
+    const double dx = x - b.x, dy = y - b.y, dz = z - b.z;
+    const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+    const double a = 0.5 * (1.0 - std::tanh((dist - b.r) / delta));
+    alpha = std::max(alpha, a);
+  }
+  return alpha;
+}
+
+namespace {
+
+Cell make_mixture_cell(double alpha, const TwoPhaseIC& ic, double p_liquid_override) {
+  const double rho = alpha * ic.rho_vapor + (1.0 - alpha) * ic.rho_liquid;
+  const double p = alpha * ic.p_vapor + (1.0 - alpha) * p_liquid_override;
+  const auto mix = eos::mix(ic.vapor, ic.liquid, alpha);
+  Cell c;
+  c.rho = static_cast<Real>(rho);
+  c.ru = c.rv = c.rw = 0;
+  c.G = static_cast<Real>(mix.G);
+  c.P = static_cast<Real>(mix.Pi);
+  c.E = static_cast<Real>(mix.G * p + mix.Pi);  // quiescent: no kinetic energy
+  return c;
+}
+
+}  // namespace
+
+void set_cloud_ic(Grid& grid, const std::vector<Bubble>& bubbles, const TwoPhaseIC& ic) {
+  const double delta = ic.smoothing_cells * grid.h();
+  const int nx = grid.cells_x(), ny = grid.cells_y(), nz = grid.cells_z();
+#pragma omp parallel for schedule(static)
+  for (int iz = 0; iz < nz; ++iz)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int ix = 0; ix < nx; ++ix) {
+        const double alpha = vapor_fraction(grid.cell_center(ix), grid.cell_center(iy),
+                                            grid.cell_center(iz), bubbles, delta);
+        grid.cell(ix, iy, iz) = make_mixture_cell(alpha, ic, ic.p_liquid);
+      }
+}
+
+void set_shock_bubble_ic(Grid& grid, const ShockBubbleIC& ic) {
+  const double extent = grid.h() * grid.cells_x();
+  const std::vector<Bubble> one{Bubble{ic.bubble.x * extent, ic.bubble.y * extent,
+                                       ic.bubble.z * extent, ic.bubble.r * extent}};
+  const double delta = ic.phases.smoothing_cells * grid.h();
+  const double xs = ic.shock_x * extent;
+
+  // Post-shock liquid state from the stiffened-gas Rankine-Hugoniot
+  // relations for a right-running shock into fluid at rest.
+  const StiffenedGas& l = ic.phases.liquid;
+  const double p1 = ic.phases.p_liquid;
+  const double p2 = p1 * ic.p_ratio;
+  const double r1 = ic.phases.rho_liquid;
+  const double g = l.gamma;
+  const double pc = l.pc;
+  // Density ratio across the shock (stiffened gas: shift pressures by pc).
+  const double ph1 = p1 + pc, ph2 = p2 + pc;
+  const double r2 = r1 * ((g + 1.0) * ph2 + (g - 1.0) * ph1) /
+                    ((g - 1.0) * ph2 + (g + 1.0) * ph1);
+  // Shock speed and post-shock particle velocity.
+  const double us = std::sqrt(ph1 / r1 * ((g + 1.0) / 2.0 * ph2 / ph1 + (g - 1.0) / 2.0));
+  const double u2 = us * (1.0 - r1 / r2);
+
+  const int nx = grid.cells_x(), ny = grid.cells_y(), nz = grid.cells_z();
+#pragma omp parallel for schedule(static)
+  for (int iz = 0; iz < nz; ++iz)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int ix = 0; ix < nx; ++ix) {
+        const double x = grid.cell_center(ix);
+        const double alpha = vapor_fraction(x, grid.cell_center(iy), grid.cell_center(iz),
+                                            one, delta);
+        Cell c = make_mixture_cell(alpha, ic.phases, p1);
+        if (x < xs && alpha < 0.5) {
+          // Pure post-shock liquid column.
+          c.rho = static_cast<Real>(r2);
+          c.ru = static_cast<Real>(r2 * u2);
+          const double G = l.Gamma(), Pi = l.Pi();
+          c.G = static_cast<Real>(G);
+          c.P = static_cast<Real>(Pi);
+          c.E = static_cast<Real>(G * p2 + Pi + 0.5 * r2 * u2 * u2);
+        }
+        grid.cell(ix, iy, iz) = c;
+      }
+}
+
+}  // namespace mpcf

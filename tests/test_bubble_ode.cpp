@@ -1,0 +1,116 @@
+// Tests of the single-bubble ODE baselines (Rayleigh-Plesset, Keller-Miksis).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "physics/bubble_ode.h"
+
+namespace mpcf::physics {
+namespace {
+
+BubbleOdeParams default_params() {
+  BubbleOdeParams p;
+  p.R0 = 100e-6;
+  p.p_liquid = 100e5;
+  p.p_bubble0 = 2340.0;
+  return p;
+}
+
+TEST(BubbleOde, EquilibriumBubbleStaysPut) {
+  BubbleOdeParams p = default_params();
+  p.p_bubble0 = p.p_liquid;  // pressure balance
+  const auto traj =
+      integrate_bubble(p, BubbleModel::kRayleighPlesset, 1e-6, 1e-10, 0.01, 100);
+  for (const auto& s : traj) EXPECT_NEAR(s.R, p.R0, 1e-9 * p.R0);
+}
+
+TEST(BubbleOde, OverpressurizedBubbleGrows) {
+  BubbleOdeParams p = default_params();
+  p.p_bubble0 = 10.0 * p.p_liquid;
+  const auto traj =
+      integrate_bubble(p, BubbleModel::kRayleighPlesset, 2e-6, 1e-10, 0.01, 100);
+  EXPECT_GT(traj.back().R, p.R0);
+  EXPECT_GT(traj.back().V, 0.0);
+}
+
+std::vector<BubbleState> run_model(BubbleModel m, const BubbleOdeParams& p, double tau) {
+  return integrate_bubble(p, m, 2.0 * tau, tau / 200000.0, 0.02, 100);
+}
+
+class CollapseTimeTest : public ::testing::TestWithParam<BubbleModel> {};
+
+TEST_P(CollapseTimeTest, MatchesRayleighTheory) {
+  // With near-vacuum contents, the first collapse occurs at ~ the Rayleigh
+  // time 0.915 R0 sqrt(rho/dp); gas stiffness and compressibility perturb it
+  // by a few percent only.
+  BubbleOdeParams p = default_params();
+  const double tau = rayleigh_collapse_time(p);
+  const auto traj = run_model(GetParam(), p, tau);
+  const double tc = first_collapse_time(traj);
+  EXPECT_NEAR(tc, tau, 0.12 * tau);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CollapseTimeTest,
+                         ::testing::Values(BubbleModel::kRayleighPlesset,
+                                           BubbleModel::kKellerMiksis));
+
+TEST(BubbleOde, CollapseAcceleratesTowardMinimum) {
+  BubbleOdeParams p = default_params();
+  const double tau = rayleigh_collapse_time(p);
+  const auto traj = integrate_bubble(p, BubbleModel::kRayleighPlesset, 1.2 * tau,
+                                     tau / 200000.0, 0.05, 50);
+  // Interface velocity is monotonically negative and grows in magnitude
+  // until the collapse terminates the trajectory.
+  double vmax = 0;
+  for (const auto& s : traj) {
+    if (s.t > 0.05 * tau) {
+      EXPECT_LE(s.V, 1e-6);
+    }
+    vmax = std::max(vmax, -s.V);
+  }
+  EXPECT_GT(vmax, 50.0);  // tens of m/s well before the singular stage
+}
+
+TEST(BubbleOde, KellerMiksisSlowsTheFinalStage) {
+  // Compressibility radiates energy away: at the same near-collapse radius
+  // the Keller-Miksis interface speed must not exceed Rayleigh-Plesset's.
+  BubbleOdeParams p = default_params();
+  const double tau = rayleigh_collapse_time(p);
+  const auto rp = integrate_bubble(p, BubbleModel::kRayleighPlesset, 2 * tau,
+                                   tau / 500000.0, 0.03, 1);
+  const auto km = integrate_bubble(p, BubbleModel::kKellerMiksis, 2 * tau,
+                                   tau / 500000.0, 0.03, 1);
+  auto speed_at_radius = [](const std::vector<BubbleState>& traj, double R_target) {
+    double best = 0, dist = 1e300;
+    for (const auto& s : traj) {
+      const double d = std::fabs(s.R - R_target);
+      if (d < dist) {
+        dist = d;
+        best = -s.V;
+      }
+    }
+    return best;
+  };
+  const double R_probe = 0.05 * p.R0;
+  EXPECT_LE(speed_at_radius(km, R_probe), 1.02 * speed_at_radius(rp, R_probe));
+}
+
+TEST(BubbleOde, RejectsBadParameters) {
+  BubbleOdeParams p = default_params();
+  p.R0 = -1;
+  EXPECT_THROW((void)integrate_bubble(p, BubbleModel::kRayleighPlesset, 1e-6, 1e-10),
+               mpcf::PreconditionError);
+}
+
+TEST(BubbleOde, RayleighTimeFormula) {
+  BubbleOdeParams p = default_params();
+  p.R0 = 2e-4;
+  p.rho = 1000;
+  p.p_liquid = 1e7;
+  p.p_bubble0 = 0;
+  EXPECT_NEAR(rayleigh_collapse_time(p), 0.915 * 2e-4 * std::sqrt(1000.0 / 1e7), 1e-12);
+}
+
+}  // namespace
+}  // namespace mpcf::physics

@@ -1,0 +1,105 @@
+// Tests of the common substrate: aligned buffers, 3-D fields, error helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/aligned_buffer.h"
+#include "common/error.h"
+#include "common/field3d.h"
+
+namespace mpcf {
+namespace {
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  AlignedBuffer<float> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kSimdAlignment, 0u);
+  AlignedBuffer<double> b16(7, 16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b16.data()) % 16, 0u);
+}
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<int> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.begin(), buf.end());
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  for (int i = 0; i < 10; ++i) a[i] = i * i;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[3], 9);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): tested on purpose
+
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c[7], 49);
+}
+
+TEST(AlignedBuffer, ResetReallocates) {
+  AlignedBuffer<float> buf(4);
+  buf.reset(64);
+  EXPECT_EQ(buf.size(), 64u);
+  buf.reset(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(AlignedBuffer, RangeForIteration) {
+  AlignedBuffer<int> buf(5);
+  for (auto& v : buf) v = 2;
+  int sum = 0;
+  for (const auto& v : std::as_const(buf)) sum += v;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(Field3D, IndexingIsXFastest) {
+  Field3D<float> f(3, 4, 5);
+  EXPECT_EQ(f.nx(), 3);
+  EXPECT_EQ(f.ny(), 4);
+  EXPECT_EQ(f.nz(), 5);
+  EXPECT_EQ(f.size(), 60u);
+  f(1, 2, 3) = 42.0f;
+  EXPECT_EQ(f.data()[1 + 3 * (2 + 4 * 3)], 42.0f);
+}
+
+TEST(Field3D, ViewSharesStorage) {
+  Field3D<float> f(4, 4, 4);
+  f.fill(1.0f);
+  auto v = f.view();
+  v(2, 2, 2) = 7.0f;
+  EXPECT_EQ(f(2, 2, 2), 7.0f);
+  const auto& cf = f;
+  auto cv = cf.view();
+  EXPECT_EQ(cv(2, 2, 2), 7.0f);
+}
+
+TEST(Field3D, RejectsBadExtents) {
+  EXPECT_THROW(Field3D<float>(0, 4, 4), PreconditionError);
+  EXPECT_THROW(Field3D<float>(4, -1, 4), PreconditionError);
+  Field3D<float> f(2, 2, 2);
+  EXPECT_THROW(f.reset(2, 0, 2), PreconditionError);
+}
+
+TEST(Field3D, FillSetsEverything) {
+  Field3D<float> f(4, 3, 2);
+  f.fill(3.5f);
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_EQ(f.data()[i], 3.5f);
+}
+
+TEST(Error, RequirePassesAndThrows) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "broken"), PreconditionError);
+  try {
+    require(false, "specific message");
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+}  // namespace
+}  // namespace mpcf

@@ -1,0 +1,92 @@
+// Unit tests for the stiffened-gas EOS and the two-phase mixture closure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eos/stiffened_gas.h"
+
+namespace mpcf {
+namespace {
+
+TEST(StiffenedGas, GammaPiOfIdealGas) {
+  const StiffenedGas air{1.4, 0.0};
+  EXPECT_DOUBLE_EQ(air.Gamma(), 2.5);
+  EXPECT_DOUBLE_EQ(air.Pi(), 0.0);
+}
+
+TEST(StiffenedGas, GammaPiOfPaperMaterials) {
+  // Paper Section 7: vapor gamma=1.4, pc=1 bar; liquid gamma=6.59, pc=4096 bar.
+  EXPECT_NEAR(materials::kVapor.Gamma(), 2.5, 1e-12);
+  EXPECT_NEAR(materials::kVapor.Pi(), 1.4 * 1e5 / 0.4, 1e-6);
+  EXPECT_NEAR(materials::kLiquid.Gamma(), 1.0 / 5.59, 1e-12);
+  EXPECT_NEAR(materials::kLiquid.Pi(), 6.59 * 4.096e8 / 5.59, 1.0);
+}
+
+TEST(Eos, PressureEnergyRoundTrip) {
+  const double rho = 870.0, u = 12.0, v = -3.0, w = 0.5, p = 7.3e6;
+  const double G = materials::kLiquid.Gamma(), Pi = materials::kLiquid.Pi();
+  const double E = eos::total_energy(rho, u, v, w, p, G, Pi);
+  const double p2 = eos::pressure(rho, rho * u, rho * v, rho * w, E, G, Pi);
+  EXPECT_NEAR(p2, p, 1e-6 * p);
+}
+
+TEST(Eos, SoundSpeedMatchesGammaForm) {
+  // c^2 = gamma (p + pc) / rho must equal the (Gamma, Pi) form used by the
+  // kernels.
+  for (const StiffenedGas& m : {materials::kVapor, materials::kLiquid}) {
+    const double rho = 500.0, p = 2.0e7;
+    const double direct = std::sqrt(m.gamma * (p + m.pc) / rho);
+    const double viaGP = eos::sound_speed(rho, p, m.Gamma(), m.Pi());
+    EXPECT_NEAR(viaGP, direct, 1e-9 * direct);
+  }
+}
+
+TEST(Eos, SoundSpeedOfWaterIsRealistic) {
+  // The stiffened-gas constants of the paper give c ~ 1600-2200 m/s for
+  // pressurized water at rho=1000.
+  const double c = eos::sound_speed(materials::kLiquidDensity, materials::kLiquidPressure,
+                                    materials::kLiquid.Gamma(), materials::kLiquid.Pi());
+  EXPECT_GT(c, 1200.0);
+  EXPECT_LT(c, 3000.0);
+}
+
+TEST(Eos, MixtureEndpointsAreExact) {
+  const auto mv = eos::mix(materials::kVapor, materials::kLiquid, 1.0);
+  EXPECT_DOUBLE_EQ(mv.G, materials::kVapor.Gamma());
+  EXPECT_DOUBLE_EQ(mv.Pi, materials::kVapor.Pi());
+  const auto ml = eos::mix(materials::kVapor, materials::kLiquid, 0.0);
+  EXPECT_DOUBLE_EQ(ml.G, materials::kLiquid.Gamma());
+  EXPECT_DOUBLE_EQ(ml.Pi, materials::kLiquid.Pi());
+}
+
+TEST(Eos, MixtureIsLinearInAlpha) {
+  const auto a = eos::mix(materials::kVapor, materials::kLiquid, 0.25);
+  const auto b = eos::mix(materials::kVapor, materials::kLiquid, 0.75);
+  const auto mid = eos::mix(materials::kVapor, materials::kLiquid, 0.5);
+  EXPECT_NEAR(0.5 * (a.G + b.G), mid.G, 1e-12);
+  EXPECT_NEAR(0.5 * (a.Pi + b.Pi), mid.Pi, 1e-3);
+}
+
+TEST(Eos, MixRejectsOutOfRangeAlpha) {
+  EXPECT_THROW((void)eos::mix(materials::kVapor, materials::kLiquid, -0.1), PreconditionError);
+  EXPECT_THROW((void)eos::mix(materials::kVapor, materials::kLiquid, 1.1), PreconditionError);
+}
+
+// Pressure recovery must be exact for mixed cells too (the interface-capture
+// requirement of ref [45]): E built with mixture (G, Pi) inverts back.
+class MixturePressureTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MixturePressureTest, RoundTripAtVolumeFraction) {
+  const double alpha = GetParam();
+  const auto m = eos::mix(materials::kVapor, materials::kLiquid, alpha);
+  const double rho = alpha * 1.0 + (1 - alpha) * 1000.0;
+  const double p = alpha * 0.0234e5 + (1 - alpha) * 100e5;
+  const double E = eos::total_energy(rho, 0.0, 0.0, 0.0, p, m.G, m.Pi);
+  EXPECT_NEAR(eos::pressure(rho, 0.0, 0.0, 0.0, E, m.G, m.Pi), p, 1e-9 * std::abs(p) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, MixturePressureTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+}  // namespace
+}  // namespace mpcf

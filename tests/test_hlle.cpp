@@ -1,0 +1,183 @@
+// Unit tests for the HLLE numerical flux.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eos/stiffened_gas.h"
+#include "kernels/hlle.h"
+
+namespace mpcf::kernels {
+namespace {
+
+FaceState<float> liquid_state(float u, float v = 0, float w = 0) {
+  return {1000.0f, u, v, w, 100.0e5f,
+          static_cast<float>(materials::kLiquid.Gamma()),
+          static_cast<float>(materials::kLiquid.Pi())};
+}
+
+FaceState<float> vapor_state(float u) {
+  return {1.0f, u, 0, 0, 0.0234e5f,
+          static_cast<float>(materials::kVapor.Gamma()),
+          static_cast<float>(materials::kVapor.Pi())};
+}
+
+/// Exact physical flux of a single state.
+Flux<double> physical_flux(const FaceState<float>& s) {
+  const double E = eos::total_energy<double>(s.r, s.u, s.v, s.w, s.p, s.G, s.P);
+  Flux<double> f;
+  f.rho = double(s.r) * s.u;
+  f.ru = double(s.r) * s.u * s.u + s.p;
+  f.rv = double(s.r) * s.u * s.v;
+  f.rw = double(s.r) * s.u * s.w;
+  f.E = (E + s.p) * s.u;
+  f.G = double(s.G) * s.u;
+  f.P = double(s.P) * s.u;
+  f.ustar = s.u;
+  return f;
+}
+
+void expect_flux_near(const Flux<float>& got, const Flux<double>& want, double rel) {
+  const double scale = std::max({std::fabs(want.rho), std::fabs(want.ru), std::fabs(want.E),
+                                 1.0});
+  EXPECT_NEAR(got.rho, want.rho, rel * scale);
+  EXPECT_NEAR(got.ru, want.ru, rel * std::max(std::fabs(want.ru), scale));
+  EXPECT_NEAR(got.rv, want.rv, rel * scale);
+  EXPECT_NEAR(got.rw, want.rw, rel * scale);
+  EXPECT_NEAR(got.E, want.E, rel * std::max(std::fabs(want.E), scale));
+  EXPECT_NEAR(got.G, want.G, rel * std::max(std::fabs(want.G), 1.0));
+  EXPECT_NEAR(got.P, want.P, rel * std::max(std::fabs(want.P), 1.0));
+}
+
+TEST(Hlle, ConsistencyEqualStates) {
+  // F(q, q) must equal the physical flux f(q).
+  for (float u : {0.0f, 15.0f, -22.0f}) {
+    const auto s = liquid_state(u, 3.0f, -1.0f);
+    const auto f = hlle_flux(s, s);
+    expect_flux_near(f, physical_flux(s), 1e-4);
+    EXPECT_NEAR(f.ustar, u, 1e-3f + 1e-4f * std::fabs(u));
+  }
+}
+
+TEST(Hlle, ConsistencyVapor) {
+  const auto s = vapor_state(5.0f);
+  expect_flux_near(hlle_flux(s, s), physical_flux(s), 1e-4);
+}
+
+TEST(Hlle, SupersonicUpwindingTakesLeftFlux) {
+  // Both states moving right faster than sound: the flux is the left
+  // physical flux, untouched by the right state.
+  auto sl = vapor_state(400.0f);   // vapor c ~ 57 m/s at these conditions
+  auto sr = vapor_state(500.0f);
+  sr.r = 2.0f;
+  const auto f = hlle_flux(sl, sr);
+  expect_flux_near(f, physical_flux(sl), 1e-4);
+}
+
+TEST(Hlle, SupersonicUpwindingTakesRightFlux) {
+  auto sl = vapor_state(-500.0f);
+  auto sr = vapor_state(-400.0f);
+  sl.p *= 1.5f;
+  const auto f = hlle_flux(sl, sr);
+  expect_flux_near(f, physical_flux(sr), 1e-4);
+}
+
+TEST(Hlle, StationaryContactDiffusesSymmetrically) {
+  // u=0, uniform p across a density/phase contact: mass flux is pure
+  // dissipation, momentum flux is exactly the pressure, ustar is zero.
+  auto sl = liquid_state(0.0f);
+  auto sr = vapor_state(0.0f);
+  sr.p = sl.p;  // pressure equilibrium
+  const auto f = hlle_flux(sl, sr);
+  EXPECT_NEAR(f.ru, sl.p, 1e-3f * sl.p);
+  EXPECT_NEAR(f.ustar, 0.0f, 1e-6f);
+  // Dissipative flux -a/2*(rho_R - rho_L) pushes mass from the heavy (left)
+  // toward the light (right) side: positive.
+  EXPECT_GT(f.rho, 0.0f);
+}
+
+TEST(Hlle, PressureEquilibriumCouplingAcrossContact) {
+  // The E- and (G, Pi)-fluxes must satisfy f_E = p * f_G + f_Pi at a
+  // stationary contact in pressure equilibrium — this is what keeps dp/dt = 0
+  // (Johnsen-Ham). KE is zero here, so E = G p + Pi exactly.
+  auto sl = liquid_state(0.0f);
+  auto sr = vapor_state(0.0f);
+  sr.p = sl.p;
+  const auto f = hlle_flux(sl, sr);
+  EXPECT_NEAR(f.E, double(sl.p) * f.G + f.P, 2e-3 * std::fabs(f.E) + 1.0);
+}
+
+TEST(Hlle, MirrorSymmetry) {
+  // Reflecting the states (swap sides, negate normal velocities) must negate
+  // the mass/energy/advected fluxes and preserve the momentum flux — the
+  // property that makes reflecting-wall ghosts produce zero mass flux.
+  auto sl = liquid_state(12.0f, 1.0f, -2.0f);
+  auto sr = vapor_state(-7.0f);
+  const auto f = hlle_flux(sl, sr);
+
+  FaceState<float> ml = sr, mr = sl;
+  ml.u = -ml.u;
+  mr.u = -mr.u;
+  const auto g = hlle_flux(ml, mr);
+  const float tol = 1e-4f;
+  EXPECT_NEAR(g.rho, -f.rho, tol * (1 + std::fabs(f.rho)));
+  EXPECT_NEAR(g.ru, f.ru, tol * (1 + std::fabs(f.ru)));
+  EXPECT_NEAR(g.E, -f.E, tol * (1 + std::fabs(f.E)));
+  EXPECT_NEAR(g.G, -f.G, tol * (1 + std::fabs(f.G)));
+  EXPECT_NEAR(g.P, -f.P, tol * (1 + std::fabs(f.P)));
+  EXPECT_NEAR(g.ustar, -f.ustar, tol * (1 + std::fabs(f.ustar)));
+}
+
+TEST(Hlle, WallGhostGivesZeroMassFlux) {
+  // A reflecting wall is realized by mirroring the state with the normal
+  // momentum flipped: the resulting face flux carries momentum (pressure)
+  // but no mass.
+  auto s = liquid_state(25.0f, 3.0f, -1.0f);
+  auto ghost = s;
+  ghost.u = -ghost.u;
+  const auto f = hlle_flux(s, ghost);
+  EXPECT_NEAR(f.rho, 0.0f, 1e-2f * s.r * std::fabs(s.u));
+  EXPECT_GT(f.ru, s.p);  // pressure + dynamic loading
+  EXPECT_NEAR(f.ustar, 0.0f, 1e-3f * std::fabs(s.u));
+}
+
+TEST(Hlle, Vec4MatchesScalar) {
+  using simd::vec4;
+  FaceState<vec4> vm, vp;
+  FaceState<float> sm[4], sp[4];
+  const float us[4] = {0.0f, 30.0f, -50.0f, 5.0f};
+  for (int l = 0; l < 4; ++l) {
+    sm[l] = liquid_state(us[l], 1.0f, 2.0f);
+    sp[l] = vapor_state(-us[l]);
+  }
+  auto pack = [&](auto get) {
+    return vec4(get(0), get(1), get(2), get(3));
+  };
+  vm.r = pack([&](int l) { return sm[l].r; });
+  vm.u = pack([&](int l) { return sm[l].u; });
+  vm.v = pack([&](int l) { return sm[l].v; });
+  vm.w = pack([&](int l) { return sm[l].w; });
+  vm.p = pack([&](int l) { return sm[l].p; });
+  vm.G = pack([&](int l) { return sm[l].G; });
+  vm.P = pack([&](int l) { return sm[l].P; });
+  vp.r = pack([&](int l) { return sp[l].r; });
+  vp.u = pack([&](int l) { return sp[l].u; });
+  vp.v = pack([&](int l) { return sp[l].v; });
+  vp.w = pack([&](int l) { return sp[l].w; });
+  vp.p = pack([&](int l) { return sp[l].p; });
+  vp.G = pack([&](int l) { return sp[l].G; });
+  vp.P = pack([&](int l) { return sp[l].P; });
+
+  const auto fv = hlle_flux(vm, vp);
+  for (int l = 0; l < 4; ++l) {
+    const auto fs = hlle_flux(sm[l], sp[l]);
+    const float tol = 1e-5f;
+    EXPECT_NEAR(fv.rho[l], fs.rho, tol * (1 + std::fabs(fs.rho)));
+    EXPECT_NEAR(fv.ru[l], fs.ru, tol * (1 + std::fabs(fs.ru)));
+    EXPECT_NEAR(fv.E[l], fs.E, tol * (1 + std::fabs(fs.E)));
+    EXPECT_NEAR(fv.G[l], fs.G, tol * (1 + std::fabs(fs.G)));
+    EXPECT_NEAR(fv.ustar[l], fs.ustar, tol * (1 + std::fabs(fs.ustar)));
+  }
+}
+
+}  // namespace
+}  // namespace mpcf::kernels

@@ -1,0 +1,122 @@
+// Tests of the image output and diagnostics helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/diagnostics.h"
+#include "eos/stiffened_gas.h"
+#include "io/ppm.h"
+#include "workload/cloud.h"
+
+namespace mpcf {
+namespace {
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::fseek(f, 0, SEEK_END);
+  std::vector<unsigned char> data(std::ftell(f));
+  std::fseek(f, 0, SEEK_SET);
+  const auto got = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  data.resize(got);
+  return data;
+}
+
+TEST(Ppm, FieldSliceHasValidHeaderAndSize) {
+  Field3D<float> f(8, 6, 4);
+  for (int k = 0; k < 4; ++k)
+    for (int j = 0; j < 6; ++j)
+      for (int i = 0; i < 8; ++i) f(i, j, k) = static_cast<float>(i + j + k);
+  const std::string path = ::testing::TempDir() + "/mpcf_slice.ppm";
+  io::write_field_slice_ppm(path, std::as_const(f).view(), 2, 0, 0);
+  const auto data = read_file(path);
+  ASSERT_GT(data.size(), 15u);
+  EXPECT_EQ(data[0], 'P');
+  EXPECT_EQ(data[1], '6');
+  // header "P6\n8 6\n255\n" = 11 bytes + 8*6*3 pixels
+  EXPECT_EQ(data.size(), 11u + 8u * 6u * 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, PressureSliceRendersCloudGrid) {
+  Grid g(2, 2, 2, 8, 1e-3);
+  std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.2e-3}};
+  set_cloud_ic(g, one, TwoPhaseIC{});
+  const std::string path = ::testing::TempDir() + "/mpcf_pslice.ppm";
+  io::SliceRenderOptions opt;
+  opt.G_vapor = materials::kVapor.Gamma();
+  opt.G_liquid = materials::kLiquid.Gamma();
+  io::write_pressure_slice_ppm(path, g, opt);
+  const auto data = read_file(path);
+  EXPECT_EQ(data.size(), 13u + 16u * 16u * 3u);  // "P6\n16 16\n255\n" = 13 B
+  // The interface overlay must paint some pixels pure white.
+  int white = 0;
+  for (std::size_t i = 12; i + 2 < data.size(); i += 3)
+    if (data[i] == 255 && data[i + 1] == 255 && data[i + 2] == 255) ++white;
+  EXPECT_GT(white, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, RejectsOutOfRangeSlice) {
+  Field3D<float> f(4, 4, 4);
+  f.fill(0);
+  EXPECT_THROW(
+      io::write_field_slice_ppm("/tmp/x.ppm", std::as_const(f).view(), 9, 0, 1),
+      PreconditionError);
+}
+
+TEST(Diagnostics, UniformLiquidBox) {
+  Grid g(2, 2, 2, 8, 2.0);  // 2 m box for easy volume arithmetic
+  const double G = materials::kLiquid.Gamma(), Pi = materials::kLiquid.Pi();
+  const double p0 = 5e6, rho = 800.0, u = 3.0;
+  for (int iz = 0; iz < 16; ++iz)
+    for (int iy = 0; iy < 16; ++iy)
+      for (int ix = 0; ix < 16; ++ix) {
+        Cell c;
+        c.rho = static_cast<Real>(rho);
+        c.ru = static_cast<Real>(rho * u);
+        c.G = static_cast<Real>(G);
+        c.P = static_cast<Real>(Pi);
+        c.E = static_cast<Real>(eos::total_energy(rho, u, 0.0, 0.0, p0, G, Pi));
+        g.cell(ix, iy, iz) = c;
+      }
+  const auto bc = BoundaryConditions::all(BCType::kAbsorbing);
+  const auto d = compute_diagnostics(g, bc, materials::kVapor.Gamma(), G);
+  const double V = 8.0;  // 2^3 m^3
+  EXPECT_NEAR(d.mass, rho * V, 1e-3 * rho * V);
+  EXPECT_NEAR(d.kinetic_energy, 0.5 * rho * u * u * V, 2e-2 * 0.5 * rho * u * u * V);
+  EXPECT_NEAR(d.max_p_field, p0, 2e-3 * p0);
+  // float rounding of Gamma leaves a ~1e-9 relative alpha residue per cell
+  EXPECT_NEAR(d.vapor_volume, 0.0, 1e-6 * V);
+  EXPECT_EQ(d.max_p_wall, 0.0);  // no wall faces
+}
+
+TEST(Diagnostics, WallFaceSelection) {
+  Grid g(1, 1, 1, 8, 1.0);
+  const double G = materials::kLiquid.Gamma(), Pi = materials::kLiquid.Pi();
+  for (int iz = 0; iz < 8; ++iz)
+    for (int iy = 0; iy < 8; ++iy)
+      for (int ix = 0; ix < 8; ++ix) {
+        Cell c;
+        c.rho = 1000;
+        c.G = static_cast<Real>(G);
+        c.P = static_cast<Real>(Pi);
+        // pressure rises with z: wall at z=0 must see the lowest value
+        c.E = static_cast<Real>(G * (1e6 * (1.0 + iz)) + Pi);
+        g.cell(ix, iy, iz) = c;
+      }
+  auto bc = BoundaryConditions::all(BCType::kAbsorbing);
+  bc.face[2][0] = BCType::kWall;
+  const auto d_lo = compute_diagnostics(g, bc, 2.5, G);
+  EXPECT_NEAR(d_lo.max_p_wall, 1e6, 5e3);
+  bc.face[2][0] = BCType::kAbsorbing;
+  bc.face[2][1] = BCType::kWall;
+  const auto d_hi = compute_diagnostics(g, bc, 2.5, G);
+  EXPECT_NEAR(d_hi.max_p_wall, 8e6, 5e4);
+}
+
+}  // namespace
+}  // namespace mpcf

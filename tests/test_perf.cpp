@@ -1,0 +1,105 @@
+// Tests of the performance substrate: machine models, roofline, traffic
+// model, issue-rate model and the imbalance statistic.
+#include <gtest/gtest.h>
+
+#include "core/profile.h"
+#include "perf/issue_rate.h"
+#include "perf/machine.h"
+#include "perf/microbench.h"
+#include "perf/oi_model.h"
+
+namespace mpcf::perf {
+namespace {
+
+TEST(MachineModel, BqcRidgePointMatchesPaper) {
+  // Paper Section 4: "kernels that exhibit operational intensities higher
+  // than 7.3 FLOP/off-chip Byte are compute-bound" on the BQC.
+  EXPECT_NEAR(kBqc.ridge_point(), 7.3, 0.05);
+  EXPECT_NEAR(kMonteRosaNode.ridge_point(), 9.0, 0.05);
+  EXPECT_NEAR(kPizDaintNode.ridge_point(), 8.4, 0.05);
+}
+
+TEST(MachineModel, RooflineExample) {
+  // Paper Section 2 example: 0.1 FLOP/B on a 200 GFLOP/s / 30 GB/s machine
+  // attains min(200, 0.1*30) = 3 GFLOP/s.
+  const MachineModel m{"example", 200.0, 30.0};
+  EXPECT_DOUBLE_EQ(m.attainable_gflops(0.1), 3.0);
+  EXPECT_DOUBLE_EQ(m.attainable_gflops(100.0), 200.0);
+  EXPECT_NEAR(m.ridge_point(), 6.7, 0.05);
+}
+
+TEST(MachineModel, InstallationsMatchTable1) {
+  const auto& inst = bgq_installations();
+  ASSERT_EQ(inst.size(), 3u);
+  EXPECT_EQ(inst[0].name, "Sequoia");
+  EXPECT_EQ(inst[0].racks, 96);
+  EXPECT_DOUBLE_EQ(inst[0].peak_pflops, 20.1);
+  EXPECT_EQ(inst[1].racks, 24);
+  EXPECT_EQ(inst[2].racks, 1);
+}
+
+TEST(OiModel, ShapesMatchTable3) {
+  // The structure the paper reports: reordering helps RHS the most, DT
+  // moderately, UP not at all (Table 3: 15X / 3.9X / 1X).
+  const auto rhs = rhs_traffic(32);
+  const auto dt = dt_traffic(32);
+  const auto up = up_traffic(32);
+  EXPECT_GT(rhs.reorder_factor(), 5.0);
+  EXPECT_GT(dt.reorder_factor(), 2.0);
+  EXPECT_DOUBLE_EQ(up.reorder_factor(), 1.0);
+  // Ordering of the reordered intensities: RHS >> DT > UP.
+  EXPECT_GT(rhs.oi_reordered(), dt.oi_reordered());
+  EXPECT_GT(dt.oi_reordered(), up.oi_reordered());
+  // The reordered RHS is compute-bound on the BQC, UP is memory-bound.
+  EXPECT_GT(rhs.oi_reordered(), kBqc.ridge_point());
+  EXPECT_LT(up.oi_reordered(), kBqc.ridge_point());
+}
+
+TEST(OiModel, UpIntensityNearPaperValue) {
+  // UP is pure streaming: the paper reports 0.2 FLOP/B.
+  EXPECT_NEAR(up_traffic(32).oi_reordered(), 0.2, 0.05);
+}
+
+TEST(IssueRate, ModelShapesMatchTable8) {
+  const auto model = issue_rate_model(32);
+  ASSERT_EQ(model.size(), 6u);  // 5 stages + ALL
+  // WENO dominates the flops (paper: 83%).
+  const auto& weno = model[1];
+  EXPECT_EQ(weno.name, "WENO");
+  EXPECT_GT(weno.weight, 0.75);
+  // Stage weights sum to 1.
+  double wsum = 0;
+  for (std::size_t i = 0; i + 1 < model.size(); ++i) wsum += model[i].weight;
+  EXPECT_NEAR(wsum, 1.0, 1e-9);
+  // No stage can reach peak: densities sit below 2 flops/instr, so the
+  // bound is < 100% (paper: WENO 78%, ALL 76%).
+  for (const auto& s : model) {
+    EXPECT_GT(s.peak_bound, 0.3) << s.name;
+    EXPECT_LT(s.peak_bound, 1.0) << s.name;
+  }
+  // SUM has no fusable ops: exactly 1 flop/instr -> 50% bound.
+  EXPECT_DOUBLE_EQ(model[3].peak_bound, 0.5);
+  // The weighted ALL bound sits between the worst and best stage.
+  EXPECT_GT(model.back().peak_bound, model[3].peak_bound);
+  EXPECT_LT(model.back().peak_bound, 1.0);
+}
+
+TEST(Microbench, HostMeasurementsArePlausible) {
+  const MachineModel& host = host_machine();
+  EXPECT_GT(host.peak_gflops, 1.0);    // any CPU core since ~2005
+  EXPECT_LT(host.peak_gflops, 1000.0);
+  EXPECT_GT(host.mem_bw_gbs, 0.5);
+  EXPECT_LT(host.mem_bw_gbs, 2000.0);
+  EXPECT_GT(host.ridge_point(), 0.01);
+}
+
+TEST(Imbalance, MatchesPaperFormula) {
+  // (t_max - t_min) / t_avg, paper Table 4 footnote.
+  EXPECT_DOUBLE_EQ(imbalance({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance({}), 0.0);
+  EXPECT_NEAR(imbalance({0.5, 1.5}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpcf::perf

@@ -1,0 +1,165 @@
+// Unit tests for the space-filling-curve block indexing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "grid/sfc.h"
+
+namespace mpcf {
+namespace {
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  for (std::uint32_t x : {0u, 1u, 5u, 31u, 1000u})
+    for (std::uint32_t y : {0u, 2u, 17u, 999u})
+      for (std::uint32_t z : {0u, 3u, 64u, 123u}) {
+        std::uint32_t rx, ry, rz;
+        morton_decode(morton_encode(x, y, z), rx, ry, rz);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+        EXPECT_EQ(rz, z);
+      }
+}
+
+TEST(Morton, KnownCodes) {
+  EXPECT_EQ(morton_encode(0, 0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+  EXPECT_EQ(morton_encode(1, 1, 1), 7u);
+}
+
+TEST(BlockIndexer, MortonSelectedForPow2Cubes) {
+  EXPECT_EQ(BlockIndexer(4, 4, 4).curve(), BlockIndexer::Curve::kMorton);
+  EXPECT_EQ(BlockIndexer(8, 8, 8).curve(), BlockIndexer::Curve::kMorton);
+  EXPECT_EQ(BlockIndexer(3, 3, 3).curve(), BlockIndexer::Curve::kRowMajor);
+  EXPECT_EQ(BlockIndexer(4, 4, 8).curve(), BlockIndexer::Curve::kRowMajor);
+}
+
+class IndexerBijection : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IndexerBijection, LinearIsDenseAndInvertible) {
+  const auto [bx, by, bz] = GetParam();
+  const BlockIndexer idx(bx, by, bz);
+  std::set<int> seen;
+  for (int z = 0; z < bz; ++z)
+    for (int y = 0; y < by; ++y)
+      for (int x = 0; x < bx; ++x) {
+        const int l = idx.linear(x, y, z);
+        ASSERT_GE(l, 0);
+        ASSERT_LT(l, idx.count());
+        EXPECT_TRUE(seen.insert(l).second) << "duplicate linear index " << l;
+        int rx, ry, rz;
+        idx.coords(l, rx, ry, rz);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+        EXPECT_EQ(rz, z);
+      }
+  EXPECT_EQ(static_cast<int>(seen.size()), idx.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IndexerBijection,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 2, 2},
+                                           std::tuple{4, 4, 4}, std::tuple{8, 8, 8},
+                                           std::tuple{3, 5, 2}, std::tuple{4, 4, 2},
+                                           std::tuple{1, 7, 1}));
+
+TEST(Hilbert, EncodeDecodeRoundTrip) {
+  for (int order : {1, 2, 3, 4}) {
+    const std::uint32_t n = 1u << order;
+    for (std::uint32_t z = 0; z < n; ++z)
+      for (std::uint32_t y = 0; y < n; ++y)
+        for (std::uint32_t x = 0; x < n; ++x) {
+          std::uint32_t rx, ry, rz;
+          hilbert_decode(hilbert_encode(x, y, z, order), order, rx, ry, rz);
+          ASSERT_EQ(rx, x);
+          ASSERT_EQ(ry, y);
+          ASSERT_EQ(rz, z);
+        }
+  }
+}
+
+TEST(Hilbert, IsDenseBijection) {
+  const int order = 3, n = 1 << order;
+  std::set<std::uint64_t> seen;
+  for (int z = 0; z < n; ++z)
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x) {
+        const auto c = hilbert_encode(x, y, z, order);
+        ASSERT_LT(c, static_cast<std::uint64_t>(n) * n * n);
+        ASSERT_TRUE(seen.insert(c).second);
+      }
+}
+
+TEST(Hilbert, ConsecutiveCodesAreFaceNeighbors) {
+  // The defining Hilbert property (which Morton lacks): successive curve
+  // positions differ by exactly one step along one axis.
+  const int order = 3, n = 1 << order;
+  std::uint32_t px = 0, py = 0, pz = 0;
+  hilbert_decode(0, order, px, py, pz);
+  for (std::uint64_t c = 1; c < static_cast<std::uint64_t>(n) * n * n; ++c) {
+    std::uint32_t x, y, z;
+    hilbert_decode(c, order, x, y, z);
+    const int d = std::abs(int(x) - int(px)) + std::abs(int(y) - int(py)) +
+                  std::abs(int(z) - int(pz));
+    ASSERT_EQ(d, 1) << "jump at code " << c;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(Hilbert, BetterShortRangeLocalityThanMorton) {
+  // The Hilbert advantage is short-range: far more face-adjacent block
+  // pairs land within a small index window (cache-sized working set) than
+  // under Morton — measured: 38% vs 19% within W=1, 54% vs 38% within W=3
+  // on an 8^3 grid. (The *mean* index distance is similar for both.)
+  const int n = 8;
+  const BlockIndexer hil(n, n, n, BlockIndexer::Curve::kHilbert);
+  const BlockIndexer mor(n, n, n, BlockIndexer::Curve::kMorton);
+  for (int W : {1, 3}) {
+    long h = 0, m = 0, pairs = 0;
+    for (int z = 0; z < n; ++z)
+      for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n - 1; ++x) {
+          const auto within = [&](const BlockIndexer& idx, int a1, int b1, int c1,
+                                  int a2, int b2, int c2) {
+            return std::abs(idx.linear(a1, b1, c1) - idx.linear(a2, b2, c2)) <= W;
+          };
+          h += within(hil, x + 1, y, z, x, y, z) + within(hil, y, x + 1, z, y, x, z) +
+               within(hil, y, z, x + 1, y, z, x);
+          m += within(mor, x + 1, y, z, x, y, z) + within(mor, y, x + 1, z, y, x, z) +
+               within(mor, y, z, x + 1, y, z, x);
+          pairs += 3;
+        }
+    EXPECT_GT(static_cast<double>(h) / pairs, 1.3 * m / pairs) << "window " << W;
+  }
+}
+
+TEST(BlockIndexer, ForcedCurveValidation) {
+  EXPECT_NO_THROW(BlockIndexer(4, 4, 4, BlockIndexer::Curve::kHilbert));
+  EXPECT_THROW(BlockIndexer(4, 4, 2, BlockIndexer::Curve::kHilbert), PreconditionError);
+  EXPECT_THROW(BlockIndexer(3, 3, 3, BlockIndexer::Curve::kMorton), PreconditionError);
+  EXPECT_NO_THROW(BlockIndexer(3, 5, 2, BlockIndexer::Curve::kRowMajor));
+}
+
+TEST(Morton, LocalityBeatsRowMajorOnWorstAxis) {
+  // The SFC exists to improve spatial locality (paper Section 5). Row-major
+  // indexing places z-neighbours n^2 apart; Morton keeps all three axes
+  // symmetric, so its mean z-neighbour distance must be far smaller.
+  const int n = 8;
+  const BlockIndexer morton(n, n, n);
+  double morton_z = 0, row_z = 0;
+  long pairs = 0;
+  for (int z = 0; z < n - 1; ++z)
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x) {
+        morton_z += std::abs(morton.linear(x, y, z + 1) - morton.linear(x, y, z));
+        row_z += n * n;
+        ++pairs;
+      }
+  EXPECT_LT(morton_z / pairs, row_z / pairs);
+}
+
+}  // namespace
+}  // namespace mpcf

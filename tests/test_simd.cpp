@@ -1,0 +1,122 @@
+// Unit tests for the vec4 QPX-analogue operation surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simd/memory_ops.h"
+#include "simd/scalar_ops.h"
+#include "simd/vec4.h"
+
+namespace mpcf::simd {
+namespace {
+
+void expect_lanes(vec4 v, float a, float b, float c, float d) {
+  EXPECT_FLOAT_EQ(v[0], a);
+  EXPECT_FLOAT_EQ(v[1], b);
+  EXPECT_FLOAT_EQ(v[2], c);
+  EXPECT_FLOAT_EQ(v[3], d);
+}
+
+TEST(Vec4, ConstructAndExtract) {
+  expect_lanes(vec4(1, 2, 3, 4), 1, 2, 3, 4);
+  expect_lanes(vec4(7.5f), 7.5f, 7.5f, 7.5f, 7.5f);
+  expect_lanes(vec4::zero(), 0, 0, 0, 0);
+}
+
+TEST(Vec4, LoadStoreRoundTrip) {
+  alignas(32) float in[4] = {1, -2, 3, -4};
+  alignas(32) float out[4];
+  vec4::load(in).store(out);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+  float uout[4];
+  vec4::loadu(in).storeu(uout);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(uout[i], in[i]);
+}
+
+TEST(Vec4, Arithmetic) {
+  const vec4 a(1, 2, 3, 4), b(5, 6, 7, 8);
+  expect_lanes(a + b, 6, 8, 10, 12);
+  expect_lanes(b - a, 4, 4, 4, 4);
+  expect_lanes(a * b, 5, 12, 21, 32);
+  expect_lanes(b / a, 5, 3, 7.0f / 3, 2);
+  expect_lanes(-a, -1, -2, -3, -4);
+}
+
+TEST(Vec4, FusedMultiplyAdd) {
+  const vec4 a(1, 2, 3, 4), b(2, 2, 2, 2), c(10, 20, 30, 40);
+  expect_lanes(fmadd(a, b, c), 12, 24, 36, 48);
+  expect_lanes(fnmadd(a, b, c), 8, 16, 24, 32);
+}
+
+TEST(Vec4, MinMaxAbsSqrt) {
+  const vec4 a(1, -2, 3, -4), b(-1, 2, -3, 4);
+  expect_lanes(min(a, b), -1, -2, -3, -4);
+  expect_lanes(max(a, b), 1, 2, 3, 4);
+  expect_lanes(abs(a), 1, 2, 3, 4);
+  expect_lanes(sqrt(vec4(4, 9, 16, 25)), 2, 3, 4, 5);
+}
+
+TEST(Vec4, SelectLt) {
+  const vec4 a(1, 5, 3, 7), b(2, 2, 4, 4);
+  const vec4 x(10, 10, 10, 10), y(20, 20, 20, 20);
+  expect_lanes(select_lt(a, b, x, y), 10, 20, 10, 20);
+}
+
+TEST(Vec4, Rotate1MirrorsQpxAlign) {
+  const vec4 a(1, 2, 3, 4), b(5, 6, 7, 8);
+  expect_lanes(rotate1(a, b), 2, 3, 4, 5);
+}
+
+TEST(Vec4, HorizontalReductions) {
+  EXPECT_FLOAT_EQ(hmax(vec4(1, 9, 3, 7)), 9.0f);
+  EXPECT_FLOAT_EQ(hsum(vec4(1, 2, 3, 4)), 10.0f);
+}
+
+TEST(Vec4, RcpIsExactDivision) {
+  expect_lanes(rcp(vec4(2, 4, 8, 10)), 0.5f, 0.25f, 0.125f, 0.1f);
+}
+
+TEST(ScalarOps, MirrorVec4Semantics) {
+  EXPECT_FLOAT_EQ(fmadd(2.0f, 3.0f, 4.0f), 10.0f);
+  EXPECT_FLOAT_EQ(fnmadd(2.0f, 3.0f, 4.0f), -2.0f);
+  EXPECT_FLOAT_EQ(select_lt(1.0f, 2.0f, 5.0f, 6.0f), 5.0f);
+  EXPECT_FLOAT_EQ(select_lt(3.0f, 2.0f, 5.0f, 6.0f), 6.0f);
+  EXPECT_FLOAT_EQ(abs(-2.5f), 2.5f);
+  EXPECT_FLOAT_EQ(rcp(4.0f), 0.25f);
+}
+
+TEST(MemoryOps, LoadAddSubStore) {
+  float buf[6] = {1, 2, 3, 4, 5, 6};
+  const vec4 v = load_elems<vec4>(buf + 1);
+  expect_lanes(v, 2, 3, 4, 5);
+  add_store(buf + 1, vec4(10, 10, 10, 10));
+  EXPECT_FLOAT_EQ(buf[1], 12);
+  EXPECT_FLOAT_EQ(buf[4], 15);
+  sub_store(buf + 0, vec4(1, 1, 1, 1));
+  EXPECT_FLOAT_EQ(buf[0], 0);   // 1 - 1
+  EXPECT_FLOAT_EQ(buf[3], 13);  // 4 + 10 - 1
+
+  float x = 2.0f;
+  EXPECT_FLOAT_EQ(load_elems<float>(&x), 2.0f);
+  add_store(&x, 3.0f);
+  EXPECT_FLOAT_EQ(x, 5.0f);
+  sub_store(&x, 1.0f);
+  EXPECT_FLOAT_EQ(x, 4.0f);
+  EXPECT_EQ(Lanes<float>::value, 1);
+  EXPECT_EQ(Lanes<vec4>::value, 4);
+}
+
+TEST(MemoryOps, OverlappingAccumulateIsSequential) {
+  // The RHS x-sweep relies on back-to-back overlapping read-modify-write
+  // vec4 accumulations being applied in program order.
+  float buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  sub_store(buf + 0, vec4(1, 1, 1, 1));
+  add_store(buf + 1, vec4(1, 1, 1, 1));
+  EXPECT_FLOAT_EQ(buf[0], -1);
+  EXPECT_FLOAT_EQ(buf[1], 0);
+  EXPECT_FLOAT_EQ(buf[3], 0);
+  EXPECT_FLOAT_EQ(buf[4], 1);
+}
+
+}  // namespace
+}  // namespace mpcf::simd

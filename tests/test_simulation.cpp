@@ -1,0 +1,239 @@
+// Integration tests of the node-layer Simulation: time-step control,
+// conservation over many steps, free-stream stability, acoustic propagation
+// speed and symmetry preservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.h"
+#include "eos/stiffened_gas.h"
+#include "workload/cloud.h"
+
+namespace mpcf {
+namespace {
+
+Cell quiescent_liquid(double p = materials::kLiquidPressure) {
+  const double G = materials::kLiquid.Gamma(), Pi = materials::kLiquid.Pi();
+  Cell c;
+  c.rho = static_cast<Real>(materials::kLiquidDensity);
+  c.G = static_cast<Real>(G);
+  c.P = static_cast<Real>(Pi);
+  c.E = static_cast<Real>(G * p + Pi);
+  return c;
+}
+
+void fill(Grid& g, const Cell& c) {
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < g.cells_x(); ++ix) g.cell(ix, iy, iz) = c;
+}
+
+TEST(Simulation, DtMatchesCflOverSoundSpeed) {
+  Simulation::Params prm;
+  prm.cfl = 0.3;
+  Simulation sim(1, 1, 1, 8, prm);
+  fill(sim.grid(), quiescent_liquid());
+  const double c = eos::sound_speed(materials::kLiquidDensity, materials::kLiquidPressure,
+                                    materials::kLiquid.Gamma(), materials::kLiquid.Pi());
+  const double dt = sim.compute_dt();
+  EXPECT_NEAR(dt, 0.3 * sim.grid().h() / c, 1e-3 * dt);
+}
+
+TEST(Simulation, DtScalesWithCfl) {
+  Simulation::Params p1, p2;
+  p1.cfl = 0.3;
+  p2.cfl = 0.6;
+  Simulation a(1, 1, 1, 8, p1), b(1, 1, 1, 8, p2);
+  fill(a.grid(), quiescent_liquid());
+  fill(b.grid(), quiescent_liquid());
+  EXPECT_NEAR(b.compute_dt() / a.compute_dt(), 2.0, 1e-6);
+}
+
+TEST(Simulation, FreeStreamIsStableOverManySteps) {
+  Simulation::Params prm;
+  prm.bc = BoundaryConditions::all(BCType::kPeriodic);
+  Simulation sim(2, 1, 1, 8, prm);
+  Cell c = quiescent_liquid();
+  // uniform motion to exercise the advective terms too
+  const double u = 10.0;
+  c.ru = static_cast<Real>(materials::kLiquidDensity * u);
+  c.E += static_cast<Real>(0.5 * materials::kLiquidDensity * u * u);
+  fill(sim.grid(), c);
+  for (int s = 0; s < 20; ++s) sim.step();
+  for (int ix = 0; ix < sim.grid().cells_x(); ++ix) {
+    const Cell& got = sim.grid().cell(ix, 3, 4);
+    EXPECT_NEAR(got.rho, c.rho, 1e-3 * c.rho);
+    EXPECT_NEAR(got.ru, c.ru, 2e-3 * std::fabs(c.ru) + 1.0);
+    EXPECT_NEAR(got.E, c.E, 1e-4 * c.E);
+  }
+}
+
+TEST(Simulation, ConservationInPeriodicBox) {
+  Simulation::Params prm;
+  prm.bc = BoundaryConditions::all(BCType::kPeriodic);
+  Simulation sim(2, 2, 2, 8, prm);
+  // smooth density/pressure perturbation
+  Grid& g = sim.grid();
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < g.cells_x(); ++ix) {
+        Cell c = quiescent_liquid(100e5 * (1.0 + 0.05 * std::sin(2 * M_PI * ix / 16.0) *
+                                                     std::cos(2 * M_PI * iy / 16.0)));
+        g.cell(ix, iy, iz) = c;
+      }
+  const auto d0 = sim.diagnostics(materials::kVapor.Gamma(), materials::kLiquid.Gamma());
+  for (int s = 0; s < 10; ++s) sim.step();
+  const auto d1 = sim.diagnostics(materials::kVapor.Gamma(), materials::kLiquid.Gamma());
+  EXPECT_NEAR(d1.mass, d0.mass, 1e-5 * d0.mass);
+  EXPECT_NEAR(d1.total_energy, d0.total_energy, 1e-5 * d0.total_energy);
+}
+
+TEST(Simulation, AcousticPulseTravelsAtSoundSpeed) {
+  // A small 1-D pressure bump in liquid must split into two acoustic waves
+  // travelling at +-c; after time T the right-going peak sits near x0 + c*T.
+  Simulation::Params prm;
+  prm.bc = BoundaryConditions::all(BCType::kPeriodic);
+  prm.extent = 1.0;
+  Simulation sim(8, 1, 1, 8, prm);  // 64 cells in x
+  Grid& g = sim.grid();
+  const double x0 = 0.5;
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < g.cells_x(); ++ix) {
+        const double x = g.cell_center(ix);
+        const double bump = std::exp(-0.5 * std::pow((x - x0) / 0.04, 2));
+        g.cell(ix, iy, iz) = quiescent_liquid(100e5 * (1.0 + 0.01 * bump));
+      }
+  const double c = eos::sound_speed(materials::kLiquidDensity, materials::kLiquidPressure,
+                                    materials::kLiquid.Gamma(), materials::kLiquid.Pi());
+  const double T = 0.15 / c;  // travel ~0.15 of the domain
+  while (sim.time() < T) sim.step();
+
+  // locate the right-going pressure maximum in x > x0
+  double best_x = 0, best_p = -1;
+  for (int ix = 0; ix < g.cells_x(); ++ix) {
+    const double x = g.cell_center(ix);
+    if (x <= x0 + 0.02) continue;
+    const Cell& cc = g.cell(ix, 3, 3);
+    const double ke = 0.5 * (double(cc.ru) * cc.ru) / cc.rho;
+    const double p = (cc.E - ke - cc.P) / cc.G;
+    if (p > best_p) {
+      best_p = p;
+      best_x = x;
+    }
+  }
+  EXPECT_NEAR(best_x, x0 + c * sim.time(), 3.0 * g.h());
+}
+
+TEST(Simulation, SingleBubbleCollapseStaysSymmetric) {
+  // A centred spherical bubble in a symmetric domain must keep mirror
+  // symmetry in x through the early collapse.
+  Simulation::Params prm;
+  prm.bc = BoundaryConditions::all(BCType::kAbsorbing);
+  prm.extent = 1e-3;
+  Simulation sim(2, 2, 2, 8, prm);
+  TwoPhaseIC ic;
+  std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.15e-3}};
+  set_cloud_ic(sim.grid(), one, ic);
+  for (int s = 0; s < 30; ++s) sim.step();
+  Grid& g = sim.grid();
+  const int n = g.cells_x();
+  // Momentum noise floor: float representation noise of E (dominated by the
+  // liquid Pi) feeds ~1e2 Pa pressure jitter into the momentum RHS each
+  // step, so symmetry can only hold relative to the developed flow scale.
+  double ru_scale = 0;
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < n; ++ix)
+        ru_scale = std::max(ru_scale, std::fabs(double(g.cell(ix, iy, iz).ru)));
+  ASSERT_GT(ru_scale, 1.0);  // a real collapse flow has developed
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < n / 2; ++ix) {
+        const Cell& a = g.cell(ix, iy, iz);
+        const Cell& b = g.cell(n - 1 - ix, iy, iz);
+        EXPECT_NEAR(a.rho, b.rho, 1e-3 * std::fabs(a.rho) + 1e-5);
+        EXPECT_NEAR(a.ru, -b.ru, 5e-3 * ru_scale);
+        EXPECT_NEAR(a.E, b.E, 1e-3 * std::fabs(a.E));
+      }
+}
+
+TEST(Simulation, BubbleCollapseRaisesPressureAndShrinksVapor) {
+  // Physics smoke test of the headline phenomenon: a pressurized liquid
+  // collapses a vapor bubble — vapor volume decreases, kinetic energy grows
+  // from zero, and the maximum field pressure exceeds the ambient value.
+  Simulation::Params prm;
+  prm.extent = 1e-3;
+  Simulation sim(3, 3, 3, 8, prm);  // 24^3: bubble radius ~6 cells
+  TwoPhaseIC ic;
+  std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.25e-3}};
+  set_cloud_ic(sim.grid(), one, ic);
+  const double Gv = materials::kVapor.Gamma(), Gl = materials::kLiquid.Gamma();
+  const auto d0 = sim.diagnostics(Gv, Gl);
+  EXPECT_NEAR(d0.kinetic_energy, 0.0, 1e-12);
+  EXPECT_GT(d0.vapor_volume, 0.0);
+  // Run through the collapse (Rayleigh time ~ 0.915 R sqrt(rho/dp) ~ 1.8us,
+  // ~160 steps at this resolution); track the transient pressure peak.
+  // The bubble collapses and may rebound (paper Fig. 5: the equivalent
+  // radius recovers after t=0.6), so track the minimum volume and the
+  // pressure peak over the whole run rather than the final state.
+  double peak_p = 0, min_vol = d0.vapor_volume, peak_ke = 0;
+  for (int s = 0; s < 500; ++s) {
+    sim.step();
+    const auto d = sim.diagnostics(Gv, Gl);
+    peak_p = std::max(peak_p, d.max_p_field);
+    min_vol = std::min(min_vol, d.vapor_volume);
+    peak_ke = std::max(peak_ke, d.kinetic_energy);
+  }
+  EXPECT_LT(min_vol, 0.7 * d0.vapor_volume);
+  EXPECT_GT(peak_ke, 0.0);
+  EXPECT_GT(peak_p, materials::kLiquidPressure);
+}
+
+TEST(Simulation, ProfileAccumulatesKernelTimes) {
+  Simulation sim(1, 1, 1, 8);
+  fill(sim.grid(), quiescent_liquid());
+  sim.step();
+  const StepProfile& p = sim.profile();
+  EXPECT_GT(p.rhs, 0.0);
+  EXPECT_GT(p.dt, 0.0);
+  EXPECT_GT(p.up, 0.0);
+  EXPECT_EQ(p.steps, 1);
+  EXPECT_GT(sim.flops_per_step(), 0.0);
+}
+
+TEST(Simulation, WallReflectsAcousticWave) {
+  // Right-going pulse into a wall: after reflection the maximum wall
+  // pressure must exceed the incident amplitude (pressure doubling).
+  Simulation::Params prm;
+  prm.bc = BoundaryConditions::all(BCType::kAbsorbing);
+  prm.bc.face[0][1] = BCType::kWall;
+  Simulation sim(4, 1, 1, 8, prm);
+  Grid& g = sim.grid();
+  const double c = eos::sound_speed(materials::kLiquidDensity, materials::kLiquidPressure,
+                                    materials::kLiquid.Gamma(), materials::kLiquid.Pi());
+  const double amp = 0.02;
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < g.cells_x(); ++ix) {
+        const double x = g.cell_center(ix);
+        const double bump = amp * std::exp(-0.5 * std::pow((x - 0.6) / 0.05, 2));
+        // simple right-running acoustic wave: dp = rho c du
+        const double p = 100e5 * (1.0 + bump);
+        const double u = 100e5 * bump / (materials::kLiquidDensity * c);
+        Cell cc = quiescent_liquid(p);
+        cc.ru = static_cast<Real>(materials::kLiquidDensity * u);
+        cc.E += static_cast<Real>(0.5 * materials::kLiquidDensity * u * u);
+        g.cell(ix, iy, iz) = cc;
+      }
+  const double Gv = materials::kVapor.Gamma(), Gl = materials::kLiquid.Gamma();
+  double peak_wall = 0;
+  while (sim.time() < 0.6 / c) {
+    sim.step();
+    peak_wall = std::max(peak_wall, sim.diagnostics(Gv, Gl).max_p_wall);
+  }
+  EXPECT_GT(peak_wall, 100e5 * (1.0 + 1.2 * amp));  // reflection amplification
+}
+
+}  // namespace
+}  // namespace mpcf

@@ -1,0 +1,93 @@
+// Tests of the wall-loading (erosion proxy) monitor.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/simulation.h"
+#include "core/wall_loading.h"
+#include "eos/stiffened_gas.h"
+#include "workload/cloud.h"
+
+namespace mpcf {
+namespace {
+
+TEST(WallLoading, RequiresAWallFace) {
+  Grid g(1, 1, 1, 8);
+  const auto absorbing = BoundaryConditions::all(BCType::kAbsorbing);
+  EXPECT_THROW(WallLoadingMonitor(g, absorbing, 2, 0), PreconditionError);
+  auto bc = absorbing;
+  bc.face[2][0] = BCType::kWall;
+  EXPECT_NO_THROW(WallLoadingMonitor(g, bc, 2, 0));
+  EXPECT_THROW(WallLoadingMonitor(g, bc, 2, 1), PreconditionError);
+}
+
+TEST(WallLoading, UniformPressureGivesUniformImpulse) {
+  Grid g(2, 2, 2, 8, 1.0);
+  const double p0 = 100e5;
+  const double G = materials::kLiquid.Gamma(), Pi = materials::kLiquid.Pi();
+  for (int iz = 0; iz < 16; ++iz)
+    for (int iy = 0; iy < 16; ++iy)
+      for (int ix = 0; ix < 16; ++ix) {
+        Cell c;
+        c.rho = 1000;
+        c.G = static_cast<Real>(G);
+        c.P = static_cast<Real>(Pi);
+        c.E = static_cast<Real>(G * p0 + Pi);
+        g.cell(ix, iy, iz) = c;
+      }
+  auto bc = BoundaryConditions::all(BCType::kAbsorbing);
+  bc.face[2][0] = BCType::kWall;
+  WallLoadingMonitor mon(g, bc, 2, 0);
+  EXPECT_EQ(mon.nu(), 16);
+  EXPECT_EQ(mon.nv(), 16);
+  mon.accumulate(g, 1e-6);
+  mon.accumulate(g, 1e-6);
+  // Impulse = p0 * total time everywhere, up to the float representation
+  // noise of E (dominated by the liquid Pi).
+  for (int iv = 0; iv < 16; ++iv)
+    for (int iu = 0; iu < 16; ++iu) {
+      EXPECT_NEAR(mon.impulse(iu, iv), p0 * 2e-6, 1e-4 * p0 * 2e-6);
+      EXPECT_NEAR(mon.peak(iu, iv), p0, 1e-3 * p0);
+    }
+  const auto s = mon.summary(/*pit_threshold=*/2 * p0);
+  EXPECT_NEAR(s.peak_pressure, p0, 1e-3 * p0);
+  EXPECT_DOUBLE_EQ(s.loaded_fraction, 0.0);  // never exceeded the threshold
+  EXPECT_NEAR(s.mean_impulse, p0 * 2e-6, 1e-4 * p0 * 2e-6);
+}
+
+TEST(WallLoading, CollapseLoadsTheWallNonUniformly) {
+  Simulation::Params prm;
+  prm.extent = 1e-3;
+  prm.bc.face[2][0] = BCType::kWall;
+  Simulation sim(3, 3, 3, 8, prm);
+  // One bubble off-center above the wall: the damage footprint must be
+  // localized under/near the bubble.
+  std::vector<Bubble> one{Bubble{0.4e-3, 0.5e-3, 0.45e-3, 0.2e-3}};
+  set_cloud_ic(sim.grid(), one, TwoPhaseIC{});
+  WallLoadingMonitor mon(sim.grid(), prm.bc, 2, 0);
+  for (int s = 0; s < 150; ++s) {
+    const double dt = sim.step();
+    mon.accumulate(sim.grid(), dt);
+  }
+  const auto s = mon.summary(1.2 * materials::kLiquidPressure);
+  EXPECT_GT(s.peak_pressure, materials::kLiquidPressure);
+  EXPECT_GT(s.max_impulse, 0.0);
+  // Spatial structure: impulse varies across the wall.
+  double mn = 1e300, mx = 0;
+  for (int iv = 0; iv < mon.nv(); ++iv)
+    for (int iu = 0; iu < mon.nu(); ++iu) {
+      mn = std::min(mn, mon.impulse(iu, iv));
+      mx = std::max(mx, mon.impulse(iu, iv));
+    }
+  EXPECT_GT(mx, 1.0001 * mn);
+
+  const std::string path = ::testing::TempDir() + "/mpcf_wall.ppm";
+  mon.write_impulse_ppm(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpcf
