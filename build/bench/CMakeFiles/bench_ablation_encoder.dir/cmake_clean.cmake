@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_encoder.dir/bench_ablation_encoder.cpp.o"
+  "CMakeFiles/bench_ablation_encoder.dir/bench_ablation_encoder.cpp.o.d"
+  "bench_ablation_encoder"
+  "bench_ablation_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sfc.dir/bench_ablation_sfc.cpp.o"
+  "CMakeFiles/bench_ablation_sfc.dir/bench_ablation_sfc.cpp.o.d"
+  "bench_ablation_sfc"
+  "bench_ablation_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_snapshots.dir/bench_fig8_snapshots.cpp.o"
+  "CMakeFiles/bench_fig8_snapshots.dir/bench_fig8_snapshots.cpp.o.d"
+  "bench_fig8_snapshots"
+  "bench_fig8_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machine_model.dir/bench_machine_model.cpp.o"
+  "CMakeFiles/bench_machine_model.dir/bench_machine_model.cpp.o.d"
+  "bench_machine_model"
+  "bench_machine_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

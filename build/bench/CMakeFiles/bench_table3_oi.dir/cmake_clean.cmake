@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_oi.dir/bench_table3_oi.cpp.o"
+  "CMakeFiles/bench_table3_oi.dir/bench_table3_oi.cpp.o.d"
+  "bench_table3_oi"
+  "bench_table3_oi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_oi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_imbalance.dir/bench_table4_imbalance.cpp.o"
+  "CMakeFiles/bench_table4_imbalance.dir/bench_table4_imbalance.cpp.o.d"
+  "bench_table4_imbalance"
+  "bench_table4_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

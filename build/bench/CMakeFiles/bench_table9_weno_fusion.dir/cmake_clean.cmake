@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_weno_fusion.dir/bench_table9_weno_fusion.cpp.o"
+  "CMakeFiles/bench_table9_weno_fusion.dir/bench_table9_weno_fusion.cpp.o.d"
+  "bench_table9_weno_fusion"
+  "bench_table9_weno_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_weno_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

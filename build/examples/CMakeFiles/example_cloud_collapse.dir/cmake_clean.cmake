@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cloud_collapse.dir/cloud_collapse.cpp.o"
+  "CMakeFiles/example_cloud_collapse.dir/cloud_collapse.cpp.o.d"
+  "example_cloud_collapse"
+  "example_cloud_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cloud_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_demo.dir/cluster_demo.cpp.o"
+  "CMakeFiles/example_cluster_demo.dir/cluster_demo.cpp.o.d"
+  "example_cluster_demo"
+  "example_cluster_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compression_demo.dir/compression_demo.cpp.o"
+  "CMakeFiles/example_compression_demo.dir/compression_demo.cpp.o.d"
+  "example_compression_demo"
+  "example_compression_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compression_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rayleigh_collapse.dir/rayleigh_collapse.cpp.o"
+  "CMakeFiles/example_rayleigh_collapse.dir/rayleigh_collapse.cpp.o.d"
+  "example_rayleigh_collapse"
+  "example_rayleigh_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rayleigh_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

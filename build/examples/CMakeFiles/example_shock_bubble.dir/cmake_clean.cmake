@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shock_bubble.dir/shock_bubble.cpp.o"
+  "CMakeFiles/example_shock_bubble.dir/shock_bubble.cpp.o.d"
+  "example_shock_bubble"
+  "example_shock_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shock_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

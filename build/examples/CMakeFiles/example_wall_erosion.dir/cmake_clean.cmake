@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wall_erosion.dir/wall_erosion.cpp.o"
+  "CMakeFiles/example_wall_erosion.dir/wall_erosion.cpp.o.d"
+  "example_wall_erosion"
+  "example_wall_erosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wall_erosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_wall_erosion.
+# This may be replaced when dependencies are built.

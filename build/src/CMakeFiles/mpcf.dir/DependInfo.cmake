@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_simulation.cpp" "src/CMakeFiles/mpcf.dir/cluster/cluster_simulation.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/cluster/cluster_simulation.cpp.o.d"
+  "/root/repo/src/cluster/sim_comm.cpp" "src/CMakeFiles/mpcf.dir/cluster/sim_comm.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/cluster/sim_comm.cpp.o.d"
+  "/root/repo/src/compression/async_dumper.cpp" "src/CMakeFiles/mpcf.dir/compression/async_dumper.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/compression/async_dumper.cpp.o.d"
+  "/root/repo/src/compression/compressor.cpp" "src/CMakeFiles/mpcf.dir/compression/compressor.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/compression/compressor.cpp.o.d"
+  "/root/repo/src/compression/sparse_coder.cpp" "src/CMakeFiles/mpcf.dir/compression/sparse_coder.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/compression/sparse_coder.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/CMakeFiles/mpcf.dir/core/diagnostics.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/core/diagnostics.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/mpcf.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/core/wall_loading.cpp" "src/CMakeFiles/mpcf.dir/core/wall_loading.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/core/wall_loading.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/CMakeFiles/mpcf.dir/grid/grid.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/grid/grid.cpp.o.d"
+  "/root/repo/src/grid/sfc.cpp" "src/CMakeFiles/mpcf.dir/grid/sfc.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/grid/sfc.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/mpcf.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/compressed_file.cpp" "src/CMakeFiles/mpcf.dir/io/compressed_file.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/io/compressed_file.cpp.o.d"
+  "/root/repo/src/io/ppm.cpp" "src/CMakeFiles/mpcf.dir/io/ppm.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/io/ppm.cpp.o.d"
+  "/root/repo/src/kernels/rhs.cpp" "src/CMakeFiles/mpcf.dir/kernels/rhs.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/kernels/rhs.cpp.o.d"
+  "/root/repo/src/kernels/sos.cpp" "src/CMakeFiles/mpcf.dir/kernels/sos.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/kernels/sos.cpp.o.d"
+  "/root/repo/src/kernels/update.cpp" "src/CMakeFiles/mpcf.dir/kernels/update.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/kernels/update.cpp.o.d"
+  "/root/repo/src/perf/issue_rate.cpp" "src/CMakeFiles/mpcf.dir/perf/issue_rate.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/perf/issue_rate.cpp.o.d"
+  "/root/repo/src/perf/microbench.cpp" "src/CMakeFiles/mpcf.dir/perf/microbench.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/perf/microbench.cpp.o.d"
+  "/root/repo/src/perf/oi_model.cpp" "src/CMakeFiles/mpcf.dir/perf/oi_model.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/perf/oi_model.cpp.o.d"
+  "/root/repo/src/physics/bubble_ode.cpp" "src/CMakeFiles/mpcf.dir/physics/bubble_ode.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/physics/bubble_ode.cpp.o.d"
+  "/root/repo/src/wavelet/interp_wavelet.cpp" "src/CMakeFiles/mpcf.dir/wavelet/interp_wavelet.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/wavelet/interp_wavelet.cpp.o.d"
+  "/root/repo/src/workload/cloud.cpp" "src/CMakeFiles/mpcf.dir/workload/cloud.cpp.o" "gcc" "src/CMakeFiles/mpcf.dir/workload/cloud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

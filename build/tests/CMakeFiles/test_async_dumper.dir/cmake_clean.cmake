@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_dumper.dir/test_async_dumper.cpp.o"
+  "CMakeFiles/test_async_dumper.dir/test_async_dumper.cpp.o.d"
+  "test_async_dumper"
+  "test_async_dumper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_dumper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bubble_ode.dir/test_bubble_ode.cpp.o"
+  "CMakeFiles/test_bubble_ode.dir/test_bubble_ode.cpp.o.d"
+  "test_bubble_ode"
+  "test_bubble_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bubble_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

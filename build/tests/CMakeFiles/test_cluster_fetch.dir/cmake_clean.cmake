@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_fetch.dir/test_cluster_fetch.cpp.o"
+  "CMakeFiles/test_cluster_fetch.dir/test_cluster_fetch.cpp.o.d"
+  "test_cluster_fetch"
+  "test_cluster_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_and_parity.dir/test_conv_and_parity.cpp.o"
+  "CMakeFiles/test_conv_and_parity.dir/test_conv_and_parity.cpp.o.d"
+  "test_conv_and_parity"
+  "test_conv_and_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_and_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

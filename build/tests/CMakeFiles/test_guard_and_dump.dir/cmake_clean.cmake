@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guard_and_dump.dir/test_guard_and_dump.cpp.o"
+  "CMakeFiles/test_guard_and_dump.dir/test_guard_and_dump.cpp.o.d"
+  "test_guard_and_dump"
+  "test_guard_and_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guard_and_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

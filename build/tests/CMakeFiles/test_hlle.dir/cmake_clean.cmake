@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlle.dir/test_hlle.cpp.o"
+  "CMakeFiles/test_hlle.dir/test_hlle.cpp.o.d"
+  "test_hlle"
+  "test_hlle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhs.dir/test_rhs.cpp.o"
+  "CMakeFiles/test_rhs.dir/test_rhs.cpp.o.d"
+  "test_rhs"
+  "test_rhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_coder.dir/test_sparse_coder.cpp.o"
+  "CMakeFiles/test_sparse_coder.dir/test_sparse_coder.cpp.o.d"
+  "test_sparse_coder"
+  "test_sparse_coder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_coder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wall_loading.dir/test_wall_loading.cpp.o"
+  "CMakeFiles/test_wall_loading.dir/test_wall_loading.cpp.o.d"
+  "test_wall_loading"
+  "test_wall_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wall_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weno.dir/test_weno.cpp.o"
+  "CMakeFiles/test_weno.dir/test_weno.cpp.o.d"
+  "test_weno"
+  "test_weno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
