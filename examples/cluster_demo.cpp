@@ -58,8 +58,9 @@ int main(int argc, char** argv) {
   std::printf("\n# transport: %llu messages, %.2f MB total, %llu collectives\n",
               static_cast<unsigned long long>(stats.messages), stats.bytes / 1e6,
               static_cast<unsigned long long>(stats.collectives));
-  std::printf("# comm time %.3f s vs compute %.3f s\n", cs.comm_time(),
-              cs.profile().total());
+  std::printf("# comm: %.3f s exposed stall, %.3f s work (overlapped schedule "
+              "hides it inside the task region) vs compute %.3f s\n",
+              cs.comm_time(), cs.comm_work_time(), cs.profile().total());
 
   // Collective dump: one file for the whole distributed field.
   compression::CompressionParams cg;

@@ -155,64 +155,171 @@ bool ClusterSimulation::fetch_remote(int rank, int gx, int gy, int gz, Cell& out
   return true;
 }
 
-void ClusterSimulation::exchange_halos() {
-  Timer timer;
+void ClusterSimulation::pack_rank_sends(int r) {
+  perf::TraceSpan span(tracer_, perf::TracePhase::kExchange, r);
   const bool periodic[3] = {global_bc_.face[0][0] == BCType::kPeriodic,
                             global_bc_.face[1][0] == BCType::kPeriodic,
                             global_bc_.face[2][0] == BCType::kPeriodic};
+  const Grid& g = sims_[r]->grid();
+  const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
+  for (int a = 0; a < 3; ++a)
+    for (int s = 0; s < 2; ++s) {
+      const int nr = topo_.neighbor(r, a, s, periodic[a]);
+      if (nr < 0) continue;
+      // Pack this rank's boundary layers on side s of axis a.
+      int dims[3] = {n[0], n[1], n[2]};
+      dims[a] = kGhosts;
+      std::vector<float> msg(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2] *
+                             kNumQuantities);
+      std::size_t o = 0;
+      for (int k = 0; k < dims[2]; ++k)
+        for (int j = 0; j < dims[1]; ++j)
+          for (int i = 0; i < dims[0]; ++i) {
+            int lc[3] = {i, j, k};
+            lc[a] = s == 0 ? lc[a] : n[a] - kGhosts + lc[a];
+            const Cell& cell = g.cell(lc[0], lc[1], lc[2]);
+            for (int q = 0; q < kNumQuantities; ++q) msg[o++] = cell.q(q);
+          }
+      // The receiver sees this data on its side (1-s) of axis a.
+      comm_.send(r, nr, tag_of(a, 1 - s), std::move(msg));
+    }
+}
 
-  // Post all sends (non-blocking in the paper; enqueued here).
-  for (int r = 0; r < topo_.size(); ++r) {
-    const Grid& g = sims_[r]->grid();
-    const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
-    for (int a = 0; a < 3; ++a)
-      for (int s = 0; s < 2; ++s) {
-        const int nr = topo_.neighbor(r, a, s, periodic[a]);
-        if (nr < 0) continue;
-        // Pack this rank's boundary layers on side s of axis a.
-        int dims[3] = {n[0], n[1], n[2]};
-        dims[a] = kGhosts;
-        std::vector<float> msg(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2] *
-                               kNumQuantities);
-        std::size_t o = 0;
-        for (int k = 0; k < dims[2]; ++k)
-          for (int j = 0; j < dims[1]; ++j)
-            for (int i = 0; i < dims[0]; ++i) {
-              int lc[3] = {i, j, k};
-              lc[a] = s == 0 ? lc[a] : n[a] - kGhosts + lc[a];
-              const Cell& cell = g.cell(lc[0], lc[1], lc[2]);
-              for (int q = 0; q < kNumQuantities; ++q) msg[o++] = cell.q(q);
-            }
-        // The receiver sees this data on its side (1-s) of axis a.
-        comm_.send(r, nr, tag_of(a, 1 - s), std::move(msg));
-      }
-  }
+void ClusterSimulation::post_halo_sends() {
+  // All sends, in rank order (non-blocking in the paper; enqueued here).
+  for (int r = 0; r < topo_.size(); ++r) pack_rank_sends(r);
+}
 
-  // Complete all receives.
+void ClusterSimulation::drain_halos(int r) {
+  const bool periodic[3] = {global_bc_.face[0][0] == BCType::kPeriodic,
+                            global_bc_.face[1][0] == BCType::kPeriodic,
+                            global_bc_.face[2][0] == BCType::kPeriodic};
+  const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
+  for (int a = 0; a < 3; ++a)
+    for (int s = 0; s < 2; ++s) {
+      const int nr = topo_.neighbor(r, a, s, periodic[a]);
+      if (nr < 0) continue;
+      const std::vector<float> msg = comm_.recv(nr, r, tag_of(a, s));
+      int dims[3] = {n[0], n[1], n[2]};
+      dims[a] = kGhosts;
+      auto& slab = halo_slabs_[r][a * 2 + s];
+      slab.resize(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2]);
+      require(msg.size() == slab.size() * kNumQuantities,
+              "exchange_halos: message size mismatch");
+      std::size_t o = 0;
+      for (auto& cell : slab)
+        for (int q = 0; q < kNumQuantities; ++q) cell.q(q) = msg[o++];
+    }
+}
+
+void ClusterSimulation::exchange_halos() {
+  Timer timer;
+  post_halo_sends();
   for (int r = 0; r < topo_.size(); ++r) {
-    const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
-    for (int a = 0; a < 3; ++a)
-      for (int s = 0; s < 2; ++s) {
-        const int nr = topo_.neighbor(r, a, s, periodic[a]);
-        if (nr < 0) continue;
-        const std::vector<float> msg = comm_.recv(nr, r, tag_of(a, s));
-        int dims[3] = {n[0], n[1], n[2]};
-        dims[a] = kGhosts;
-        auto& slab = halo_slabs_[r][a * 2 + s];
-        slab.resize(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2]);
-        require(msg.size() == slab.size() * kNumQuantities,
-                "exchange_halos: message size mismatch");
-        std::size_t o = 0;
-        for (auto& cell : slab)
-          for (int q = 0; q < kNumQuantities; ++q) cell.q(q) = msg[o++];
-      }
+    perf::TraceSpan span(tracer_, perf::TracePhase::kExchange, r);
+    drain_halos(r);
   }
-  comm_time_ += timer.seconds();
+  const double sec = timer.seconds();
+  comm_time_ += sec;
+  comm_work_time_ += sec;
+  comm_.add_stall_time(sec);
+}
+
+void ClusterSimulation::advance_stage_overlapped(double a_coeff) {
+  // One task region holds the whole stage pipeline: per-rank pack tasks
+  // (the paper's Isend phase), one task per interior block, and one drain
+  // task per rank — gated by `depend` clauses on its neighbours' packs —
+  // that spawns the rank's halo-block tasks once its slabs are in place.
+  // The step loop never blocks on communication: packs, drains and RHS
+  // tasks of all ranks share the thread pool, so interior compute of one
+  // rank hides the communication of another. This is race-free and
+  // bitwise-deterministic: packs only read cell data, RHS tasks only write
+  // their own block's accumulator, drains only write their own rank's
+  // slabs, and cells/slabs stay stable until the post-region update phase.
+  const int nranks = topo_.size();
+  const bool periodic[3] = {global_bc_.face[0][0] == BCType::kPeriodic,
+                            global_bc_.face[1][0] == BCType::kPeriodic,
+                            global_bc_.face[2][0] == BCType::kPeriodic};
+  std::vector<double> rank_rhs(nranks, 0.0);
+  double comm_secs = 0;
+  std::vector<char> packed(nranks, 0);
+  char* const pk = packed.data();
+  (void)pk;  // referenced only inside `depend` clauses; silence -Wunused
+  Timer region;
+#pragma omp parallel
+#pragma omp single
+  {
+    for (int r = 0; r < nranks; ++r) {
+      for (const int bi : interior_[r]) {
+#pragma omp task firstprivate(r, bi) shared(rank_rhs)
+        {
+          perf::TraceSpan span(tracer_, perf::TracePhase::kInterior, r);
+          const double sec = sims_[r]->evaluate_rhs_block(a_coeff, bi);
+#pragma omp atomic
+          rank_rhs[r] += sec;
+        }
+      }
+#pragma omp task firstprivate(r) shared(comm_secs) depend(out : pk[r])
+      {
+        Timer timer;
+        pack_rank_sends(r);
+        const double sec = timer.seconds();
+#pragma omp atomic
+        comm_secs += sec;
+      }
+    }
+    for (int r = 0; r < nranks; ++r) {
+      // A drain needs its six neighbours' sends posted; missing neighbours
+      // alias the rank's own pack slot (a benign extra dependence).
+      int nb[6];
+      for (int a = 0; a < 3; ++a)
+        for (int s = 0; s < 2; ++s) {
+          const int n = topo_.neighbor(r, a, s, periodic[a]);
+          nb[a * 2 + s] = n >= 0 ? n : r;
+        }
+#pragma omp task firstprivate(r) shared(rank_rhs, comm_secs) \
+    depend(in : pk[nb[0]], pk[nb[1]], pk[nb[2]], pk[nb[3]], pk[nb[4]], pk[nb[5]])
+      {
+        {
+          perf::TraceSpan span(tracer_, perf::TracePhase::kHalo, r);
+          Timer timer;
+          drain_halos(r);
+          const double sec = timer.seconds();
+#pragma omp atomic
+          comm_secs += sec;
+        }
+        for (const int bi : halo_[r]) {
+#pragma omp task firstprivate(r, bi) shared(rank_rhs)
+          {
+            perf::TraceSpan span(tracer_, perf::TracePhase::kHalo, r);
+            const double sec = sims_[r]->evaluate_rhs_block(a_coeff, bi);
+#pragma omp atomic
+            rank_rhs[r] += sec;
+          }
+        }
+      }
+    }
+  }  // implicit barrier: all tasks, including halo children, are complete
+
+  // No exposed stall on this path: the step loop never blocked on comm
+  // (comm_time_ untouched). The communication work still happened — inside
+  // the region — so account its thread-seconds to comm_work_time_, and
+  // attribute the region's elapsed time to the rank profiles in proportion
+  // to per-rank RHS task seconds, so profile().rhs keeps its sequential
+  // meaning: rank contributions summing to the step loop's RHS wall clock.
+  const double wall = region.seconds();
+  comm_work_time_ += comm_secs;
+  double total = comm_secs;
+  for (const double sec : rank_rhs) total += sec;
+  if (total > 0)
+    for (int r = 0; r < nranks; ++r)
+      sims_[r]->profile().rhs += wall * rank_rhs[r] / total;
 }
 
 double ClusterSimulation::compute_dt() {
   std::vector<double> vmax(topo_.size());
   for (int r = 0; r < topo_.size(); ++r) {
+    perf::TraceSpan span(tracer_, perf::TracePhase::kReduce, r);
     const double dt_r = sims_[r]->compute_dt();
     vmax[r] = sims_[r]->params().cfl * sims_[r]->grid().h() / dt_r;
   }
@@ -222,13 +329,25 @@ double ClusterSimulation::compute_dt() {
 
 void ClusterSimulation::advance(double dt) {
   for (int s = 0; s < LsRk3::kStages; ++s) {
-    exchange_halos();
-    // Interior blocks run "while halo messages are in flight".
-    for (int r = 0; r < topo_.size(); ++r)
-      sims_[r]->evaluate_rhs(LsRk3::a[s], &interior_[r]);
-    for (int r = 0; r < topo_.size(); ++r)
-      sims_[r]->evaluate_rhs(LsRk3::a[s], &halo_[r]);
-    for (int r = 0; r < topo_.size(); ++r) sims_[r]->update(LsRk3::b[s] * dt);
+    if (overlap_) {
+      advance_stage_overlapped(LsRk3::a[s]);
+    } else {
+      exchange_halos();
+      // Interior blocks run "while halo messages are in flight" (here the
+      // exchange already completed: the sequential fallback schedule).
+      for (int r = 0; r < topo_.size(); ++r) {
+        perf::TraceSpan span(tracer_, perf::TracePhase::kInterior, r);
+        sims_[r]->evaluate_rhs(LsRk3::a[s], &interior_[r]);
+      }
+      for (int r = 0; r < topo_.size(); ++r) {
+        perf::TraceSpan span(tracer_, perf::TracePhase::kHalo, r);
+        sims_[r]->evaluate_rhs(LsRk3::a[s], &halo_[r]);
+      }
+    }
+    for (int r = 0; r < topo_.size(); ++r) {
+      perf::TraceSpan span(tracer_, perf::TracePhase::kUpdate, r);
+      sims_[r]->update(LsRk3::b[s] * dt);
+    }
   }
   for (int r = 0; r < topo_.size(); ++r)
     if (sims_[r]->params().rho_floor > 0 || sims_[r]->params().p_floor > 0)
@@ -289,6 +408,7 @@ compression::CompressedQuantity ClusterSimulation::compress_collective(
   if (times) times->clear();
 
   for (int r = 0; r < topo_.size(); ++r) {
+    perf::TraceSpan span(tracer_, perf::TracePhase::kDump, r);
     std::vector<compression::WorkerTimes> rank_times;
     auto cq = compression::compress_quantity(sims_[r]->grid(), params,
                                              times ? &rank_times : nullptr);

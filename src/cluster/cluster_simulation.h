@@ -2,9 +2,12 @@
 // into cartesian subdomains, one per (simulated) rank. Each rank runs a
 // node-layer Simulation on its subgrid; ghost information crosses rank
 // boundaries as six face-slab messages of three cell layers per Runge-Kutta
-// stage, and blocks are split into halo and interior sets so the interior
-// can be dispatched while messages are "in flight" (the overlap structure of
-// the paper, executed sequentially here — see DESIGN.md substitutions).
+// stage. Blocks are split into halo and interior sets, and the step loop
+// runs the paper's overlap pipeline: post halo sends, evaluate interior
+// blocks while messages are "in flight", drain the halos, then evaluate the
+// halo blocks — scheduled as OpenMP tasks so interior compute and halo
+// processing interleave across ranks. Every phase emits tracing spans
+// (perf::Tracer) for per-rank aggregates and chrome://tracing export.
 #pragma once
 
 #include <array>
@@ -15,6 +18,7 @@
 #include "cluster/topology.h"
 #include "compression/compressor.h"
 #include "core/simulation.h"
+#include "perf/trace.h"
 
 namespace mpcf::cluster {
 
@@ -30,6 +34,16 @@ class ClusterSimulation {
   [[nodiscard]] const CartTopology& topology() const noexcept { return topo_; }
   [[nodiscard]] SimComm& comm() noexcept { return comm_; }
   [[nodiscard]] double time() const noexcept { return time_; }
+
+  /// Toggles the overlapped (task-based) step schedule. Both schedules are
+  /// bitwise-identical in their results; overlap off exists for the stall
+  /// benches and as a debugging fallback.
+  void set_overlap(bool on) noexcept { overlap_ = on; }
+  [[nodiscard]] bool overlap() const noexcept { return overlap_; }
+
+  /// Phase tracer: disabled by default; enable to collect per-phase spans
+  /// and export chrome://tracing JSON.
+  [[nodiscard]] perf::Tracer& tracer() noexcept { return tracer_; }
 
   /// Global DT reduction: per-rank SOS maxima combined by an allreduce.
   [[nodiscard]] double compute_dt();
@@ -53,16 +67,26 @@ class ClusterSimulation {
 
   /// Aggregated kernel times across ranks.
   [[nodiscard]] StepProfile profile() const;
-  /// Wall-clock spent in halo pack/send/recv/unpack.
+  /// Exposed communication stall: wall-clock the step loop blocks on halo
+  /// exchange with no compute runnable. Sequential schedule: the full
+  /// pack/send/recv/unpack of every RK stage. Overlapped schedule: zero by
+  /// construction — packs and drains run as tasks inside the stage region,
+  /// always coexisting with runnable RHS tasks (see comm_work_time() for
+  /// where the communication work went).
   [[nodiscard]] double comm_time() const noexcept { return comm_time_; }
+  /// Thread-seconds spent doing communication work (pack/send/recv/unpack)
+  /// regardless of schedule: equals comm_time() on the sequential path,
+  /// and the in-region pack+drain task seconds on the overlapped path.
+  [[nodiscard]] double comm_work_time() const noexcept { return comm_work_time_; }
 
   [[nodiscard]] const std::vector<int>& interior_blocks(int r) const {
     return interior_[r];
   }
   [[nodiscard]] const std::vector<int>& halo_blocks(int r) const { return halo_[r]; }
 
-  /// One full halo exchange (normally driven by advance; exposed for tests
-  /// and the communication benches).
+  /// One full sequential halo exchange (pack+send+drain for all ranks;
+  /// normally driven by advance — exposed for tests and the communication
+  /// benches).
   void exchange_halos();
 
   /// The ghost resolution path of `rank` for a global cell coordinate
@@ -75,6 +99,16 @@ class ClusterSimulation {
     int nx, ny, nz;  ///< extent in cells
   };
 
+  /// Packs and sends one rank's six face slabs (the paper's Isend phase).
+  void pack_rank_sends(int r);
+  /// Packs and sends every rank's six face slabs, in rank order.
+  void post_halo_sends();
+  /// Receives and unpacks the six face slabs of one rank.
+  void drain_halos(int r);
+  /// One RK stage of the overlap pipeline: per-rank pack tasks, interior
+  /// RHS tasks, and dependency-gated drain + halo RHS tasks, interleaved.
+  void advance_stage_overlapped(double a_coeff);
+
   CartTopology topo_;
   SimComm comm_;
   int bs_;
@@ -85,8 +119,11 @@ class ClusterSimulation {
   std::vector<std::vector<int>> interior_, halo_;
   // halo_slabs_[rank][axis*2+side]: 3-layer cell slab outside the rank box.
   std::vector<std::array<std::vector<Cell>, 6>> halo_slabs_;
+  perf::Tracer tracer_;
+  bool overlap_ = true;
   double time_ = 0;
   double comm_time_ = 0;
+  double comm_work_time_ = 0;
   long steps_ = 0;
 };
 

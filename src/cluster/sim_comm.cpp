@@ -2,27 +2,34 @@
 
 #include <algorithm>
 
+#include "core/profile.h"
+
 namespace mpcf::cluster {
 
 void SimComm::send(int src, int dst, int tag, std::vector<float> data) {
   require(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
           "SimComm::send: rank out of range");
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.messages++;
   stats_.bytes += data.size() * sizeof(float);
   mailboxes_[Key{src, dst, tag}].push_back(std::move(data));
 }
 
 std::vector<float> SimComm::recv(int src, int dst, int tag) {
+  Timer timer;
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = mailboxes_.find(Key{src, dst, tag});
   require(it != mailboxes_.end() && !it->second.empty(),
           "SimComm::recv: no matching message");
   std::vector<float> data = std::move(it->second.front());
-  it->second.erase(it->second.begin());
+  it->second.pop_front();
   if (it->second.empty()) mailboxes_.erase(it);
+  stats_.recv_seconds += timer.seconds();
   return data;
 }
 
 bool SimComm::probe(int src, int dst, int tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = mailboxes_.find(Key{src, dst, tag});
   return it != mailboxes_.end() && !it->second.empty();
 }
@@ -30,14 +37,20 @@ bool SimComm::probe(int src, int dst, int tag) const {
 double SimComm::allreduce_max(const std::vector<double>& contributions) const {
   require(static_cast<int>(contributions.size()) == nranks_,
           "SimComm::allreduce_max: one contribution per rank required");
-  stats_.collectives++;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.collectives++;
+  }
   return *std::max_element(contributions.begin(), contributions.end());
 }
 
 std::vector<std::uint64_t> SimComm::exscan(const std::vector<std::uint64_t>& values) const {
   require(static_cast<int>(values.size()) == nranks_,
           "SimComm::exscan: one value per rank required");
-  stats_.collectives++;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.collectives++;
+  }
   std::vector<std::uint64_t> out(values.size());
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < values.size(); ++i) {

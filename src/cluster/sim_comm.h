@@ -4,12 +4,16 @@
 // collective dump offsets) operate on per-rank contribution vectors. The
 // send/recv discipline mirrors the non-blocking exchange of the paper's
 // cluster layer so the halo/interior overlap structure is preserved, and all
-// traffic is accounted (message counts and bytes) for the communication
-// statistics of the scaling benches.
+// traffic is accounted (message counts, bytes, and receive wall-clock) for
+// the communication statistics of the scaling benches. All operations are
+// thread-safe: the overlapped step schedule drains mailboxes from concurrent
+// OpenMP tasks.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/error.h"
@@ -44,9 +48,27 @@ class SimComm {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t collectives = 0;
+    /// Wall-clock spent inside recv calls (mailbox match + dequeue). Under
+    /// the overlapped schedule this is drain time hidden behind compute.
+    double recv_seconds = 0;
+    /// Wall-clock the step loop stalls on communication with no RHS work
+    /// running (filled by the cluster layer: the full exchange on the
+    /// sequential path, only the pack+send phase when overlap is on).
+    double stall_seconds = 0;
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats{};
+  }
+  /// Accounts step-loop stall time (see Stats::stall_seconds).
+  void add_stall_time(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.stall_seconds += seconds;
+  }
 
  private:
   struct Key {
@@ -59,7 +81,10 @@ class SimComm {
   };
 
   int nranks_;
-  std::map<Key, std::vector<std::vector<float>>> mailboxes_;
+  // Mailboxes are FIFO queues: the overlapped schedule lets fast ranks run a
+  // full RK stage ahead, so queues get deeper and pops must stay O(1).
+  std::map<Key, std::deque<std::vector<float>>> mailboxes_;
+  mutable std::mutex mu_;
   mutable Stats stats_;
 };
 

@@ -28,22 +28,8 @@ Snapshot take_snapshot(const Grid& grid, const CompressionParams& params) {
   snap.bs = grid.block_size();
   const std::size_t cube = static_cast<std::size_t>(snap.bs) * snap.bs * snap.bs;
   snap.cubes.resize(cube * grid.block_count());
-  for (int b = 0; b < grid.block_count(); ++b) {
-    float* out = snap.cubes.data() + cube * b;
-    const Block& blk = grid.block(b);
-    std::size_t o = 0;
-    for (int iz = 0; iz < snap.bs; ++iz)
-      for (int iy = 0; iy < snap.bs; ++iy)
-        for (int ix = 0; ix < snap.bs; ++ix, ++o) {
-          const Cell& c = blk(ix, iy, iz);
-          if (params.derive_pressure) {
-            const float ke = 0.5f * (c.ru * c.ru + c.rv * c.rv + c.rw * c.rw) / c.rho;
-            out[o] = (c.E - ke - c.P) / c.G;
-          } else {
-            out[o] = c.q(params.quantity);
-          }
-        }
-  }
+  for (int b = 0; b < grid.block_count(); ++b)
+    gather_block_quantity(grid.block(b), snap.bs, params, snap.cubes.data() + cube * b);
   return snap;
 }
 
@@ -75,13 +61,15 @@ double compress_and_write(Snapshot snap, CompressionParams params, std::string p
     stream.block_ids.push_back(static_cast<std::uint32_t>(b));
   }
   // Encode the whole concatenated buffer (same discipline as the
-  // synchronous pipeline).
-  std::vector<std::uint8_t> buffer(
-      reinterpret_cast<const std::uint8_t*>(snap.cubes.data()),
-      reinterpret_cast<const std::uint8_t*>(snap.cubes.data()) +
-          snap.cubes.size() * sizeof(float));
-  if (params.coder == Coder::kSparseZlib)
+  // synchronous pipeline); the sparse coder consumes the coefficient floats
+  // directly, so only the plain path needs the byte view.
+  std::vector<std::uint8_t> buffer;
+  if (params.coder == Coder::kSparseZlib) {
     buffer = sparse_encode(snap.cubes.data(), snap.cubes.size());
+  } else {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(snap.cubes.data());
+    buffer.assign(bytes, bytes + snap.cubes.size() * sizeof(float));
+  }
   stream.raw_bytes = buffer.size();
   uLongf bound = compressBound(static_cast<uLong>(buffer.size()));
   stream.data.resize(bound);
@@ -98,6 +86,10 @@ double compress_and_write(Snapshot snap, CompressionParams params, std::string p
 void AsyncDumper::dump(const Grid& grid, const CompressionParams& params,
                        const std::string& path) {
   wait();
+  // Validate here, synchronously, matching compress_quantity — a bad level
+  // count must not surface as a deferred exception out of wait().
+  require(params.levels <= wavelet::max_levels(grid.block_size()),
+          "AsyncDumper: too many wavelet levels for the block size");
   Snapshot snap = take_snapshot(grid, params);
   pending_ = std::async(std::launch::async, compress_and_write, std::move(snap), params,
                         path);

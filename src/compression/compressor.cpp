@@ -3,6 +3,7 @@
 #include <omp.h>
 #include <zlib.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
@@ -11,25 +12,6 @@
 namespace mpcf::compression {
 
 namespace {
-
-/// Extracts one scalar quantity of a block into a dense cube.
-void gather_block(const Grid& grid, int block_id, const CompressionParams& p,
-                  float* cube) {
-  const Block& b = grid.block(block_id);
-  const int bs = grid.block_size();
-  std::size_t o = 0;
-  for (int iz = 0; iz < bs; ++iz)
-    for (int iy = 0; iy < bs; ++iy)
-      for (int ix = 0; ix < bs; ++ix, ++o) {
-        const Cell& c = b(ix, iy, iz);
-        if (p.derive_pressure) {
-          const float ke = 0.5f * (c.ru * c.ru + c.rv * c.rv + c.rw * c.rw) / c.rho;
-          cube[o] = (c.E - ke - c.P) / c.G;
-        } else {
-          cube[o] = c.q(p.quantity);
-        }
-      }
-}
 
 std::vector<std::uint8_t> zlib_encode(const std::uint8_t* src, std::size_t n, int level) {
   uLongf bound = compressBound(static_cast<uLong>(n));
@@ -50,6 +32,26 @@ std::vector<std::uint8_t> zlib_decode(const std::uint8_t* src, std::size_t n,
 }
 
 }  // namespace
+
+void gather_block_quantity(const Block& block, int bs, const CompressionParams& params,
+                           float* cube) {
+  std::size_t o = 0;
+  for (int iz = 0; iz < bs; ++iz)
+    for (int iy = 0; iy < bs; ++iy)
+      for (int ix = 0; ix < bs; ++ix, ++o) {
+        const Cell& c = block(ix, iy, iz);
+        if (params.derive_pressure) {
+          // Near-vacuum cells (e.g. freshly floored by the positivity guard)
+          // must not turn the kinetic-energy division into inf/NaN
+          // coefficients that poison the whole wavelet stream.
+          const float rho = std::max(static_cast<float>(c.rho), 1e-20f);
+          const float ke = 0.5f * (c.ru * c.ru + c.rv * c.rv + c.rw * c.rw) / rho;
+          cube[o] = (c.E - ke - c.P) / c.G;
+        } else {
+          cube[o] = c.q(params.quantity);
+        }
+      }
+}
 
 std::uint64_t CompressedQuantity::uncompressed_bytes() const {
   std::uint64_t blocks = 0;
@@ -86,6 +88,9 @@ CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& 
   cq.quantity = params.quantity;
   cq.coder = params.coder;
 
+  // Streams are sized for the maximum team; the runtime may grant fewer
+  // threads, and threads past the block count contribute nothing — both
+  // cases are pruned below so no empty stream reaches the file pipeline.
   const int nthreads = omp_get_max_threads();
   cq.streams.resize(nthreads);
   if (times) {
@@ -93,10 +98,15 @@ CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& 
     times->resize(nthreads);
   }
   const std::size_t cube_floats = static_cast<std::size_t>(bs) * bs * bs;
+  int team_size = nthreads;
 
 #pragma omp parallel
   {
     const int tid = omp_get_thread_num();
+    require(tid < static_cast<int>(cq.streams.size()),
+            "compress_quantity: thread id exceeds stream count");
+#pragma omp single
+    team_size = omp_get_num_threads();
     auto& stream = cq.streams[tid];
     // Dedicated per-thread decimation buffer (paper Section 5): coefficient
     // cubes of all blocks this worker processes, concatenated.
@@ -106,7 +116,7 @@ CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& 
 
 #pragma omp for schedule(dynamic, 1)
     for (int i = 0; i < grid.block_count(); ++i) {
-      gather_block(grid, i, params, cube.data());
+      gather_block_quantity(grid.block(i), bs, params, cube.data());
       wavelet::forward_3d_simd(cube.view(), levels);
       wavelet::decimate(cube.view(), levels, params.eps, params.mode);
       const auto* bytes = reinterpret_cast<const std::uint8_t*>(cube.data());
@@ -130,6 +140,14 @@ CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& 
       stream.data = zlib_encode(buffer.data(), buffer.size(), params.zlib_level);
     if (times) (*times)[tid].enc = t.seconds();
   }
+
+  // Report only the workers that actually ran, and drop streams that carry
+  // no blocks (idle workers): empty streams would otherwise travel through
+  // the collective file pipeline as zero-byte blobs.
+  if (times) times->resize(team_size);
+  std::erase_if(cq.streams, [](const CompressedQuantity::Stream& s) {
+    return s.block_ids.empty();
+  });
   return cq;
 }
 

@@ -73,6 +73,13 @@ struct CompressedQuantity {
   [[nodiscard]] double compression_rate() const;
 };
 
+/// Extracts one block's scalar quantity (or derived pressure) into a dense
+/// bs^3 cube in x-fastest order. Shared by the synchronous compressor and
+/// the async dumper's snapshot stage; the derived-pressure path guards the
+/// kinetic-energy division against near-vacuum densities.
+void gather_block_quantity(const Block& block, int bs, const CompressionParams& params,
+                           float* cube);
+
 /// Compresses one scalar quantity of the whole grid. If `times` is given it
 /// is resized to the worker count and filled with per-worker DEC/ENC times.
 [[nodiscard]] CompressedQuantity compress_quantity(const Grid& grid,

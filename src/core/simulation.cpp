@@ -46,6 +46,18 @@ void Simulation::evaluate_rhs(double a_coeff, const std::vector<int>* block_subs
       block_subset == nullptr ? grid_.block_count() : static_cast<int>(block_subset->size());
   if (count == 0) return;
 
+  // Dynamic scheduling with a parallel granularity of one block (Section 6,
+  // "Enhancing TLP"); each thread reuses its dedicated lab + workspace.
+#pragma omp parallel
+  {
+#pragma omp for schedule(dynamic, 1)
+    for (int i = 0; i < count; ++i)
+      rhs_one_block(a_coeff, block_subset == nullptr ? i : (*block_subset)[i]);
+  }
+  profile_.rhs += timer.seconds();
+}
+
+void Simulation::rhs_one_block(double a_coeff, int block_id) {
   // Ghost fetch: intra-rank ghosts come from neighbouring blocks (folded
   // through the BCs); the cluster layer can intercept out-of-rank cells.
   const auto fetch = [this](int ix, int iy, int iz) -> Cell {
@@ -56,24 +68,22 @@ void Simulation::evaluate_rhs(double a_coeff, const std::vector<int>* block_subs
     return grid_.cell_folded(ix, iy, iz, params_.bc);
   };
 
-  // Dynamic scheduling with a parallel granularity of one block (Section 6,
-  // "Enhancing TLP"); each thread reuses its dedicated lab + workspace.
-#pragma omp parallel
-  {
-    const int tid = omp_get_thread_num();
-    BlockLab& lab = labs_[tid];
-    kernels::RhsWorkspace& ws = ws_[tid];
-#pragma omp for schedule(dynamic, 1)
-    for (int i = 0; i < count; ++i) {
-      const int bi = block_subset == nullptr ? i : (*block_subset)[i];
-      int bx, by, bz;
-      grid_.indexer().coords(bi, bx, by, bz);
-      lab.load(grid_, bx, by, bz, fetch);
-      kernels::rhs_block(lab, static_cast<Real>(grid_.h()), static_cast<Real>(a_coeff),
-                         grid_.block(bi), ws, params_.impl, params_.weno_order);
-    }
-  }
-  profile_.rhs += timer.seconds();
+  const int tid = omp_get_thread_num();
+  require(tid < static_cast<int>(labs_.size()),
+          "Simulation: more threads than per-thread labs");
+  BlockLab& lab = labs_[tid];
+  kernels::RhsWorkspace& ws = ws_[tid];
+  int bx, by, bz;
+  grid_.indexer().coords(block_id, bx, by, bz);
+  lab.load(grid_, bx, by, bz, fetch);
+  kernels::rhs_block(lab, static_cast<Real>(grid_.h()), static_cast<Real>(a_coeff),
+                     grid_.block(block_id), ws, params_.impl, params_.weno_order);
+}
+
+double Simulation::evaluate_rhs_block(double a_coeff, int block_id) {
+  Timer timer;
+  rhs_one_block(a_coeff, block_id);
+  return timer.seconds();
 }
 
 void Simulation::update(double b_dt) {

@@ -78,6 +78,14 @@ class Simulation {
   /// listed blocks (the cluster layer's halo/interior split; an empty list
   /// evaluates nothing).
   void evaluate_rhs(double a_coeff, const std::vector<int>* block_subset = nullptr);
+
+  /// Evaluates the RHS of one block using the calling thread's lab and
+  /// workspace. Meant for the cluster layer's overlapped schedule, where
+  /// blocks of many ranks run as OpenMP tasks inside one parallel region;
+  /// must be called from at most omp_get_max_threads() distinct threads and
+  /// not accounted in profile() (the caller owns the timing). Returns the
+  /// wall-clock seconds spent on the block.
+  double evaluate_rhs_block(double a_coeff, int block_id);
   void update(double b_dt);
   void apply_positivity_guard();
 
@@ -98,6 +106,9 @@ class Simulation {
   [[nodiscard]] double flops_per_step() const;
 
  private:
+  /// Loads + evaluates one block on the calling thread's lab/workspace.
+  void rhs_one_block(double a_coeff, int block_id);
+
   Grid grid_;
   Params params_;
   double time_ = 0;

@@ -1,0 +1,99 @@
+#include "perf/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace mpcf::perf {
+
+namespace {
+
+/// Dense thread ids for the chrome "tid" field: threads get small integers
+/// in first-record order (std::thread::id is not JSON-friendly).
+int current_tid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+const char* trace_phase_name(TracePhase p) {
+  switch (p) {
+    case TracePhase::kExchange: return "exchange";
+    case TracePhase::kInterior: return "interior";
+    case TracePhase::kHalo: return "halo";
+    case TracePhase::kUpdate: return "update";
+    case TracePhase::kReduce: return "reduce";
+    case TracePhase::kDump: return "dump";
+  }
+  return "?";
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch_).count();
+}
+
+void Tracer::record(TracePhase phase, int rank, double t0_us, double dur_us) {
+  if (!enabled()) return;
+  const int tid = current_tid();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{phase, rank, tid, t0_us, dur_us});
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ = clock::now();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+double Tracer::total_seconds(TracePhase phase, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double us = 0;
+  for (const auto& e : events_)
+    if (e.phase == phase && (rank < 0 || e.rank == rank)) us += e.dur_us;
+  return us * 1e-6;
+}
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string out = "{\"traceEvents\":[\n";
+  // Name the per-rank "processes" so the chrome://tracing rows are labeled.
+  int max_rank = -1;
+  for (const auto& e : evs) max_rank = e.rank > max_rank ? e.rank : max_rank;
+  char buf[192];
+  for (int r = 0; r <= max_rank; ++r) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"rank %d\"}},\n",
+                  r, r);
+    out += buf;
+  }
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"mpcf\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":%d,\"tid\":%d}%s\n",
+                  trace_phase_name(e.phase), e.t0_us, e.dur_us, e.rank, e.tid,
+                  i + 1 == evs.size() ? "" : ",");
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "Tracer::write_chrome_json: cannot open output file");
+  const std::string json = chrome_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  require(f.good(), "Tracer::write_chrome_json: write failed");
+}
+
+}  // namespace mpcf::perf

@@ -1,0 +1,93 @@
+// Phase tracing for the cluster-layer pipeline: scoped spans tagged with a
+// phase (exchange/interior/halo/update/reduce/dump), a rank, and the worker
+// thread that executed them. Spans aggregate into per-rank/per-phase wall
+// clock totals and export as chrome://tracing JSON (one "pid" per rank, one
+// "tid" per worker thread), so the halo/interior overlap schedule can be
+// inspected visually. Recording is thread-safe; a disabled tracer costs one
+// relaxed atomic load per span.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpcf::perf {
+
+enum class TracePhase : int {
+  kExchange = 0,  ///< halo pack + send (and recv/unpack on the sequential path)
+  kInterior,      ///< RHS of interior blocks (runs while halos are in flight)
+  kHalo,          ///< halo drain (recv + unpack) and RHS of halo blocks
+  kUpdate,        ///< low-storage RK update
+  kReduce,        ///< DT reduction (per-rank SOS + allreduce)
+  kDump,          ///< compressed data dump
+};
+constexpr int kNumTracePhases = 6;
+
+[[nodiscard]] const char* trace_phase_name(TracePhase p);
+
+struct TraceEvent {
+  TracePhase phase;
+  int rank;       ///< chrome "pid"
+  int tid;        ///< chrome "tid": dense id of the recording thread
+  double t0_us;   ///< start, microseconds since the tracer epoch
+  double dur_us;  ///< duration in microseconds
+};
+
+class Tracer {
+ public:
+  void enable(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the tracer epoch (construction or last clear()).
+  [[nodiscard]] double now_us() const;
+
+  /// Appends one completed span (thread-safe; no-op while disabled).
+  void record(TracePhase phase, int rank, double t0_us, double dur_us);
+
+  /// Drops all recorded events and restarts the epoch.
+  void clear();
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Aggregate seconds spent in `phase`, summed over spans of `rank`
+  /// (rank < 0: all ranks). Concurrent spans count their full durations.
+  [[nodiscard]] double total_seconds(TracePhase phase, int rank = -1) const;
+
+  /// chrome://tracing "traceEvents" JSON (complete-event format).
+  [[nodiscard]] std::string chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  std::atomic<bool> enabled_{false};
+  clock::time_point epoch_ = clock::now();
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: samples the tracer clock on construction and records the
+/// elapsed interval on destruction. Cheap when the tracer is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer& tracer, TracePhase phase, int rank)
+      : tracer_(tracer.enabled() ? &tracer : nullptr), phase_(phase), rank_(rank),
+        t0_us_(tracer_ ? tracer.now_us() : 0.0) {}
+  ~TraceSpan() {
+    if (tracer_) tracer_->record(phase_, rank_, t0_us_, tracer_->now_us() - t0_us_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  TracePhase phase_;
+  int rank_;
+  double t0_us_;
+};
+
+}  // namespace mpcf::perf

@@ -87,6 +87,42 @@ TEST(AsyncDumper, WaitWithoutDumpIsZero) {
   EXPECT_FALSE(dumper.busy());
 }
 
+TEST(AsyncDumper, SparsePathMatchesSynchronousPipelineBitwise) {
+  // The sparse-coder async path must decode to exactly the bytes the
+  // synchronous pipeline produces: FWT + decimation are deterministic per
+  // block and the significance coder is lossless over the decimated
+  // coefficients, so stream grouping must not leak into the output.
+  Grid g = make_grid();
+  CompressionParams p;
+  p.eps = 1e-2f;
+  p.quantity = Q_G;
+  p.coder = Coder::kSparseZlib;
+
+  const std::string path = ::testing::TempDir() + "/mpcf_async_sparse_eq.cq";
+  AsyncDumper dumper;
+  dumper.dump(g, p, path);
+  EXPECT_GT(dumper.wait(), 1.0);
+
+  const auto f_sync = decompress_to_field(compress_quantity(g, p));
+  const auto f_async = decompress_to_field(io::read_compressed(path));
+  for (int iz = 0; iz < 32; ++iz)
+    for (int iy = 0; iy < 32; ++iy)
+      for (int ix = 0; ix < 32; ++ix)
+        ASSERT_EQ(f_async(ix, iy, iz), f_sync(ix, iy, iz))
+            << "at " << ix << "," << iy << "," << iz;
+  std::remove(path.c_str());
+}
+
+TEST(AsyncDumper, RejectsTooManyWaveletLevels) {
+  Grid g = make_grid();
+  CompressionParams p;
+  p.levels = wavelet::max_levels(g.block_size()) + 1;
+  AsyncDumper dumper;
+  EXPECT_THROW(dumper.dump(g, p, ::testing::TempDir() + "/mpcf_async_bad.cq"),
+               PreconditionError);
+  EXPECT_FALSE(dumper.busy());  // nothing was launched
+}
+
 TEST(AsyncDumper, SparseCoderPathWorks) {
   Grid g = make_grid();
   CompressionParams p;

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "cluster/cluster_simulation.h"
 #include "eos/stiffened_gas.h"
@@ -54,6 +57,34 @@ TEST(SimComm, SendRecvFifoPerTag) {
   EXPECT_THROW((void)comm.recv(0, 1, 7), PreconditionError);
   EXPECT_EQ(comm.stats().messages, 3u);
   EXPECT_EQ(comm.stats().bytes, 4u * sizeof(float));
+}
+
+TEST(SimComm, ManyMessagesStayFifoPerKey) {
+  // The overlapped schedule lets fast ranks run ahead, deepening mailbox
+  // queues; order must stay FIFO per (src,dst,tag) and pops must not lose
+  // messages. Interleave sends across several keys to stress the matching.
+  SimComm comm(3);
+  const int kMessages = 500;
+  struct KeyDef {
+    int src, dst, tag;
+  };
+  const KeyDef keys[] = {{0, 1, 0}, {0, 1, 1}, {2, 1, 0}, {1, 0, 3}};
+  for (int i = 0; i < kMessages; ++i)
+    for (const auto& k : keys)
+      comm.send(k.src, k.dst, k.tag,
+                {static_cast<float>(i), static_cast<float>(k.tag)});
+  for (const auto& k : keys) EXPECT_TRUE(comm.probe(k.src, k.dst, k.tag));
+  for (int i = 0; i < kMessages; ++i)
+    for (const auto& k : keys) {
+      const auto msg = comm.recv(k.src, k.dst, k.tag);
+      ASSERT_EQ(msg.size(), 2u);
+      EXPECT_EQ(msg[0], static_cast<float>(i)) << "key " << k.src << "," << k.tag;
+      EXPECT_EQ(msg[1], static_cast<float>(k.tag));
+    }
+  for (const auto& k : keys) EXPECT_FALSE(comm.probe(k.src, k.dst, k.tag));
+  EXPECT_EQ(comm.stats().messages, 4u * kMessages);
+  EXPECT_EQ(comm.stats().bytes, 4u * kMessages * 2 * sizeof(float));
+  EXPECT_GT(comm.stats().recv_seconds, 0.0);
 }
 
 TEST(SimComm, Collectives) {
@@ -141,6 +172,121 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{4, 1, 1, BCType::kPeriodic},
                       std::tuple{2, 2, 1, BCType::kWall}));
 
+TEST(Cluster, OverlappedScheduleMatchesSequentialBitwise) {
+  // The task-based overlap pipeline must reproduce the sequential schedule
+  // exactly: same sends, same drains, same block evaluations — only the
+  // interleaving differs, and no RHS result may depend on it.
+  Simulation::Params params = cloud_params(BCType::kPeriodic);
+  Simulation seed(4, 4, 4, 8, params);
+  init_cloud(seed.grid());
+
+  ClusterSimulation sequential(4, 4, 4, 8, CartTopology(2, 2, 2), params);
+  sequential.set_overlap(false);
+  copy_into_cluster(seed.grid(), sequential);
+
+  ClusterSimulation overlapped(4, 4, 4, 8, CartTopology(2, 2, 2), params);
+  ASSERT_TRUE(overlapped.overlap());  // tasks are the default schedule
+  copy_into_cluster(seed.grid(), overlapped);
+
+  for (int s = 0; s < 4; ++s) {
+    const double dt1 = sequential.step();
+    const double dt2 = overlapped.step();
+    ASSERT_DOUBLE_EQ(dt1, dt2) << "step " << s;
+  }
+
+  Grid a(4, 4, 4, 8, params.extent), b(4, 4, 4, 8, params.extent);
+  sequential.gather(a);
+  overlapped.gather(b);
+  for (int iz = 0; iz < a.cells_z(); ++iz)
+    for (int iy = 0; iy < a.cells_y(); ++iy)
+      for (int ix = 0; ix < a.cells_x(); ++ix)
+        for (int q = 0; q < kNumQuantities; ++q)
+          ASSERT_EQ(a.cell(ix, iy, iz).q(q), b.cell(ix, iy, iz).q(q))
+              << "mismatch at " << ix << "," << iy << "," << iz << " q=" << q;
+}
+
+TEST(Cluster, TracerCapturesPhasesAndExportsChromeJson) {
+  Simulation::Params params = cloud_params(BCType::kAbsorbing);
+  ClusterSimulation cs(4, 4, 4, 8, CartTopology(2, 1, 1), params);
+  for (int r = 0; r < cs.rank_count(); ++r) init_cloud(cs.rank_sim(r).grid());
+  cs.tracer().enable(true);
+  cs.step();
+  cs.step();
+
+  using perf::TracePhase;
+  // 2x1x1 absorbing: each rank has a 2x4x4 halo layer and 2x4x4 interior.
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kExchange), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kInterior), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kHalo), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kUpdate), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kReduce), 0.0);
+  // Per-rank filtering: both ranks contributed interior spans.
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kInterior, 0), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kInterior, 1), 0.0);
+
+  const auto events = cs.tracer().events();
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_GE(e.tid, 0);
+    EXPECT_GE(e.dur_us, 0.0);
+    EXPECT_TRUE(e.rank >= 0 && e.rank < cs.rank_count());
+  }
+
+  const std::string json = cs.tracer().chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"interior\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"halo\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+
+  const std::string path = ::testing::TempDir() + "/mpcf_trace.json";
+  cs.tracer().write_chrome_json(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), json);
+  std::remove(path.c_str());
+
+  // clear() drops events and disabling stops recording.
+  cs.tracer().clear();
+  EXPECT_TRUE(cs.tracer().events().empty());
+  cs.tracer().enable(false);
+  cs.step();
+  EXPECT_TRUE(cs.tracer().events().empty());
+}
+
+TEST(Cluster, StallAccountingSurfacesInCommStats) {
+  Simulation::Params params = cloud_params(BCType::kPeriodic);
+
+  // Sequential schedule: the step loop blocks on the full exchange, and the
+  // stall surfaces identically through SimComm stats and comm_time().
+  ClusterSimulation seq(4, 4, 4, 8, CartTopology(2, 1, 1), params);
+  seq.set_overlap(false);
+  for (int r = 0; r < seq.rank_count(); ++r) init_cloud(seq.rank_sim(r).grid());
+  seq.step();
+  const auto seq_stats = seq.comm().stats();
+  EXPECT_GT(seq_stats.stall_seconds, 0.0);
+  EXPECT_GT(seq_stats.recv_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(seq_stats.stall_seconds, seq.comm_time());
+  EXPECT_DOUBLE_EQ(seq.comm_work_time(), seq.comm_time());
+
+  // Overlapped schedule: packs and drains run as tasks inside the stage
+  // region, so the step loop never blocks on comm — zero exposed stall —
+  // while the communication work itself shows up in comm_work_time() and
+  // the drain time in recv_seconds.
+  ClusterSimulation ovl(4, 4, 4, 8, CartTopology(2, 1, 1), params);
+  for (int r = 0; r < ovl.rank_count(); ++r) init_cloud(ovl.rank_sim(r).grid());
+  ovl.step();
+  const auto ovl_stats = ovl.comm().stats();
+  EXPECT_DOUBLE_EQ(ovl.comm_time(), 0.0);
+  EXPECT_DOUBLE_EQ(ovl_stats.stall_seconds, 0.0);
+  EXPECT_GT(ovl.comm_work_time(), 0.0);
+  EXPECT_GT(ovl_stats.recv_seconds, 0.0);
+  EXPECT_EQ(ovl_stats.messages, seq_stats.messages);
+}
+
 TEST(Cluster, MessageAccountingMatchesTopology) {
   Simulation::Params params = cloud_params(BCType::kAbsorbing);
   ClusterSimulation cs(4, 4, 4, 8, CartTopology(2, 2, 2), params);
@@ -151,7 +297,10 @@ TEST(Cluster, MessageAccountingMatchesTopology) {
   EXPECT_EQ(cs.comm().stats().messages, 72u);
   // Each message: 3-layer slab of 16x16 cells x 7 floats.
   EXPECT_EQ(cs.comm().stats().bytes, 72u * 3 * 16 * 16 * 7 * sizeof(float));
-  EXPECT_GT(cs.comm_time(), 0.0);
+  // Default overlapped schedule: no exposed stall, but the communication
+  // work itself is accounted.
+  EXPECT_DOUBLE_EQ(cs.comm_time(), 0.0);
+  EXPECT_GT(cs.comm_work_time(), 0.0);
 }
 
 TEST(Cluster, HaloInteriorSplitCoversAllBlocks) {

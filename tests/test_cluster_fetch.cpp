@@ -2,21 +2,24 @@
 // (fetch_remote) and the halo exchange message discipline.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "cluster/cluster_simulation.h"
 
 namespace mpcf::cluster {
 namespace {
 
 /// Deterministically tagged global field on a 32^3 grid split 2x1x1.
-ClusterSimulation make_tagged(BCType bctype) {
+/// Heap-allocated: ClusterSimulation is pinned by its comm mutexes.
+std::unique_ptr<ClusterSimulation> make_tagged(BCType bctype) {
   Simulation::Params p;
   p.extent = 1.0;
   p.bc = BoundaryConditions::all(bctype);
-  ClusterSimulation cs(4, 4, 4, 8, CartTopology(2, 1, 1), p);
+  auto cs = std::make_unique<ClusterSimulation>(4, 4, 4, 8, CartTopology(2, 1, 1), p);
   for (int r = 0; r < 2; ++r) {
-    Grid& g = cs.rank_sim(r).grid();
+    Grid& g = cs->rank_sim(r).grid();
     int cx, cy, cz;
-    cs.topology().coords(r, cx, cy, cz);
+    cs->topology().coords(r, cx, cy, cz);
     const int ox = cx * g.cells_x();
     for (int iz = 0; iz < g.cells_z(); ++iz)
       for (int iy = 0; iy < g.cells_y(); ++iy)
@@ -39,26 +42,26 @@ TEST(FetchRemote, InRankCoordsAreDeclined) {
   auto cs = make_tagged(BCType::kAbsorbing);
   Cell out;
   // Rank 0 box is x in [0,16): any in-box coordinate goes the local path.
-  EXPECT_FALSE(cs.fetch_remote(0, 5, 5, 5, out));
-  EXPECT_FALSE(cs.fetch_remote(0, 15, 31, 31, out));
+  EXPECT_FALSE(cs->fetch_remote(0, 5, 5, 5, out));
+  EXPECT_FALSE(cs->fetch_remote(0, 15, 31, 31, out));
   // Rank 1 box is x in [16,32).
-  EXPECT_FALSE(cs.fetch_remote(1, 16, 0, 0, out));
+  EXPECT_FALSE(cs->fetch_remote(1, 16, 0, 0, out));
 }
 
 TEST(FetchRemote, FaceGhostComesFromNeighborRankAfterExchange) {
   auto cs = make_tagged(BCType::kAbsorbing);
-  cs.exchange_halos();
+  cs->exchange_halos();
   Cell out;
   // Rank 0 asking for x=16..18: rank 1's first layers.
   for (int l = 0; l < 3; ++l) {
-    ASSERT_TRUE(cs.fetch_remote(0, 16 + l, 7, 9, out));
+    ASSERT_TRUE(cs->fetch_remote(0, 16 + l, 7, 9, out));
     EXPECT_EQ(out.rho, 1000 + 16 + l);
     EXPECT_EQ(out.ru, 7);
     EXPECT_EQ(out.rv, 9);
   }
   // Rank 1 asking for x=13..15: rank 0's last layers.
   for (int l = 0; l < 3; ++l) {
-    ASSERT_TRUE(cs.fetch_remote(1, 13 + l, 2, 4, out));
+    ASSERT_TRUE(cs->fetch_remote(1, 13 + l, 2, 4, out));
     EXPECT_EQ(out.rho, 1000 + 13 + l);
   }
 }
@@ -68,8 +71,8 @@ TEST(FetchRemote, GlobalWallFoldFlipsNormalMomentum) {
   p.extent = 1.0;
   p.bc = BoundaryConditions::all(BCType::kAbsorbing);
   p.bc.face[1] = {BCType::kWall, BCType::kWall};
-  ClusterSimulation cs(4, 4, 4, 8, CartTopology(2, 1, 1), p);
-  Grid& g = cs.rank_sim(0).grid();
+  auto cs = std::make_unique<ClusterSimulation>(4, 4, 4, 8, CartTopology(2, 1, 1), p);
+  Grid& g = cs->rank_sim(0).grid();
   Cell c;
   c.rho = 7;
   c.ru = 1;
@@ -78,7 +81,7 @@ TEST(FetchRemote, GlobalWallFoldFlipsNormalMomentum) {
   g.cell(4, 0, 6) = c;
   Cell out;
   // y = -1 mirrors to y = 0 with rv flipped.
-  ASSERT_TRUE(cs.fetch_remote(0, 4, -1, 6, out));
+  ASSERT_TRUE(cs->fetch_remote(0, 4, -1, 6, out));
   EXPECT_EQ(out.rho, 7);
   EXPECT_EQ(out.ru, 1);
   EXPECT_EQ(out.rv, -2);
@@ -87,50 +90,50 @@ TEST(FetchRemote, GlobalWallFoldFlipsNormalMomentum) {
 
 TEST(FetchRemote, PeriodicSelfAxisUsesOwnOppositeSide) {
   auto cs = make_tagged(BCType::kPeriodic);
-  cs.exchange_halos();
+  cs->exchange_halos();
   Cell out;
   // y = -2 wraps to y = 30 (ry == 1: the rank's own high-y layers travel
   // through the self-send slab).
-  ASSERT_TRUE(cs.fetch_remote(0, 5, -2, 8, out));
+  ASSERT_TRUE(cs->fetch_remote(0, 5, -2, 8, out));
   EXPECT_EQ(out.ru, 30);  // tagged with iy
   // z = 33 wraps to z = 1.
-  ASSERT_TRUE(cs.fetch_remote(0, 5, 8, 33, out));
+  ASSERT_TRUE(cs->fetch_remote(0, 5, 8, 33, out));
   EXPECT_EQ(out.rv, 1);  // tagged with iz
 }
 
 TEST(FetchRemote, PeriodicSplitAxisUsesNeighborSlab) {
   auto cs = make_tagged(BCType::kPeriodic);
-  cs.exchange_halos();
+  cs->exchange_halos();
   Cell out;
   // Rank 0, x = -1 wraps to x = 31 (rank 1's last layer).
-  ASSERT_TRUE(cs.fetch_remote(0, -1, 4, 4, out));
+  ASSERT_TRUE(cs->fetch_remote(0, -1, 4, 4, out));
   EXPECT_EQ(out.rho, 1000 + 31);
   // Rank 1, x = 32 wraps to x = 0 (rank 0's first layer).
-  ASSERT_TRUE(cs.fetch_remote(1, 32, 4, 4, out));
+  ASSERT_TRUE(cs->fetch_remote(1, 32, 4, 4, out));
   EXPECT_EQ(out.rho, 1000 + 0);
 }
 
 TEST(FetchRemote, CornerFallbackIsFiniteAndHandled) {
   auto cs = make_tagged(BCType::kPeriodic);
-  cs.exchange_halos();
+  cs->exchange_halos();
   Cell out;
   // Two deviating axes (x remote + y out): clamp fallback — never read by
   // the axis-aligned sweeps, but must be handled and physically valid.
-  ASSERT_TRUE(cs.fetch_remote(0, 17, -1, 5, out));
+  ASSERT_TRUE(cs->fetch_remote(0, 17, -1, 5, out));
   EXPECT_GT(out.rho, 0.0f);
 }
 
 TEST(ExchangeHalos, MessageCountPerExchange) {
   auto cs = make_tagged(BCType::kPeriodic);
-  cs.comm().reset_stats();
-  cs.exchange_halos();
+  cs->comm().reset_stats();
+  cs->exchange_halos();
   // 2 ranks x 6 faces (periodic: every face has a neighbour, possibly self).
-  EXPECT_EQ(cs.comm().stats().messages, 12u);
+  EXPECT_EQ(cs->comm().stats().messages, 12u);
   auto cs2 = make_tagged(BCType::kAbsorbing);
-  cs2.comm().reset_stats();
-  cs2.exchange_halos();
+  cs2->comm().reset_stats();
+  cs2->exchange_halos();
   // Absorbing 2x1x1: only the two internal x-faces carry messages.
-  EXPECT_EQ(cs2.comm().stats().messages, 2u);
+  EXPECT_EQ(cs2->comm().stats().messages, 2u);
 }
 
 }  // namespace

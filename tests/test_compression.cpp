@@ -121,6 +121,39 @@ TEST(Compressor, WorkerTimesReported) {
   EXPECT_GT(dec, 0.0);
 }
 
+TEST(Compressor, NoEmptyStreamsLeaveThePipeline) {
+  // One block, many threads: all workers but one are idle, and their empty
+  // streams must be pruned before the result reaches the file pipeline.
+  Grid g(1, 1, 1, 16, 1e-3);
+  std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.2e-3}};
+  set_cloud_ic(g, one, TwoPhaseIC{});
+  CompressionParams p;
+  p.quantity = Q_G;
+  const auto cq = compress_quantity(g, p);
+  ASSERT_EQ(cq.streams.size(), 1u);
+  EXPECT_EQ(cq.streams[0].block_ids.size(), 1u);
+  EXPECT_FALSE(cq.streams[0].data.empty());
+}
+
+TEST(Compressor, DerivedPressureGuardsNearVacuumDensity) {
+  // Cells floored to (near-)zero density must not produce inf/NaN derived
+  // pressure coefficients that poison the wavelet stream of the block.
+  Grid g = make_cloud_grid();
+  Cell& c = g.cell(3, 4, 5);
+  c.rho = 0;
+  c.ru = 1e3f;
+  CompressionParams p;
+  p.derive_pressure = true;
+  p.eps = 0.0f;
+  const auto cq = compress_quantity(g, p);
+  const auto field = decompress_to_field(cq);
+  for (int iz = 0; iz < 32; ++iz)
+    for (int iy = 0; iy < 32; ++iy)
+      for (int ix = 0; ix < 32; ++ix)
+        ASSERT_TRUE(std::isfinite(field(ix, iy, iz)))
+            << "at " << ix << "," << iy << "," << iz;
+}
+
 TEST(Compressor, DecompressQuantityWritesBackIntoGrid) {
   Grid g = make_cloud_grid();
   CompressionParams p;
