@@ -376,6 +376,55 @@ void ClusterSimulation::gather(Grid& global) const {
   }
 }
 
+void ClusterSimulation::scatter(const Grid& global) {
+  require(global.cells_x() == gbx_ * bs_ && global.cells_y() == gby_ * bs_ &&
+              global.cells_z() == gbz_ * bs_,
+          "scatter: global grid shape mismatch");
+  for (int r = 0; r < topo_.size(); ++r) {
+    const RankBox& box = boxes_[r];
+    Grid& g = sims_[r]->grid();
+    for (int iz = 0; iz < box.nz; ++iz)
+      for (int iy = 0; iy < box.ny; ++iy)
+        for (int ix = 0; ix < box.nx; ++ix)
+          g.cell(ix, iy, iz) = global.cell(box.ox + ix, box.oy + iy, box.oz + iz);
+  }
+}
+
+std::uint64_t ClusterSimulation::save_checkpoint(const std::string& path) const {
+  const double extent = sims_[0]->grid().h() * gbx_ * bs_;
+  Grid global(gbx_, gby_, gbz_, bs_, extent);
+  gather(global);
+  return io::save_grid_checkpoint(path, global, time_, steps_);
+}
+
+void ClusterSimulation::load_checkpoint(const std::string& path) {
+  const double extent = sims_[0]->grid().h() * gbx_ * bs_;
+  Grid global(gbx_, gby_, gbz_, bs_, extent);
+  const io::CheckpointClock clock = io::load_grid_checkpoint(path, global);
+  scatter(global);
+  for (auto& sim : sims_) sim->restore_clock(clock.time, clock.steps);
+  time_ = clock.time;
+  steps_ = clock.steps;
+}
+
+std::string ClusterSimulation::save_checkpoint_rotating(io::CheckpointRotator& rot) {
+  perf::TraceSpan span(tracer_, perf::TracePhase::kCheckpoint, 0);
+  return rot.save(steps_,
+                  [this](const std::string& path) { save_checkpoint(path); });
+}
+
+std::string ClusterSimulation::load_latest_valid_checkpoint(
+    io::CheckpointRotator& rot, std::vector<std::string>* skipped) {
+  // One kCheckpoint span per attempt: corrupt files the recovery scan had
+  // to skip show up as extra (short) spans in the trace.
+  return rot.load_latest_valid(
+      [this](const std::string& path) {
+        perf::TraceSpan span(tracer_, perf::TracePhase::kCheckpoint, 0);
+        load_checkpoint(path);
+      },
+      skipped);
+}
+
 Diagnostics ClusterSimulation::diagnostics(double G_vapor, double G_liquid) const {
   Diagnostics total;
   for (int r = 0; r < topo_.size(); ++r) {

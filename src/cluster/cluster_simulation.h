@@ -18,6 +18,7 @@
 #include "cluster/topology.h"
 #include "compression/compressor.h"
 #include "core/simulation.h"
+#include "io/retention.h"
 #include "perf/trace.h"
 
 namespace mpcf::cluster {
@@ -54,6 +55,33 @@ class ClusterSimulation {
   /// Copies the distributed state into a single global grid (shape must be
   /// gbx x gby x gbz blocks of the same block size).
   void gather(Grid& global) const;
+
+  /// Inverse of gather: distributes a global grid across the rank subgrids.
+  void scatter(const Grid& global);
+
+  /// Checkpoints the gathered global state + cluster clock into one
+  /// atomic, CRC-protected file (same format as the node layer; a cluster
+  /// checkpoint restores into any topology of the same global shape).
+  /// Returns bytes written.
+  std::uint64_t save_checkpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by save_checkpoint (or the node layer's
+  /// save_checkpoint of an identically shaped grid): scatters the state and
+  /// restores every rank clock. Throws PreconditionError on any mismatch,
+  /// truncation, or CRC failure.
+  void load_checkpoint(const std::string& path);
+
+  /// Rotating retention: saves through `rot` at the current step count and
+  /// prunes old files (keep-last-K). The save is traced as a kCheckpoint
+  /// span. Returns the path written.
+  std::string save_checkpoint_rotating(io::CheckpointRotator& rot);
+
+  /// Auto-recovery: scans `rot` newest -> oldest and restores the first
+  /// valid checkpoint, skipping corrupt/truncated files (reported through
+  /// `skipped` and as one kCheckpoint trace span per attempt). Returns the
+  /// recovered path, or "" when no valid checkpoint exists.
+  std::string load_latest_valid_checkpoint(io::CheckpointRotator& rot,
+                                           std::vector<std::string>* skipped = nullptr);
 
   /// Reduction of the per-rank diagnostics.
   [[nodiscard]] Diagnostics diagnostics(double G_vapor, double G_liquid) const;

@@ -18,7 +18,15 @@ namespace mpcf::compression {
 class AsyncDumper {
  public:
   AsyncDumper() = default;
-  ~AsyncDumper() { wait(); }
+  /// A failed background write (disk full, torn write) surfaces as an
+  /// exception from wait(); if the owner never collected it, the error must
+  /// not escape the destructor and terminate the program.
+  ~AsyncDumper() {
+    try {
+      wait();
+    } catch (const std::exception&) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
   AsyncDumper(const AsyncDumper&) = delete;
   AsyncDumper& operator=(const AsyncDumper&) = delete;
 

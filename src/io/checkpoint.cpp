@@ -3,30 +3,68 @@
 #include <zlib.h>
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
-#include <memory>
 #include <vector>
 
 #include "common/error.h"
+#include "io/safe_file.h"
 
 namespace mpcf::io {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'P', 'C', 'F', 'C', 'K', 'P', '1'};
+constexpr char kMagicV1[8] = {'M', 'P', 'C', 'F', 'C', 'K', 'P', '1'};
+constexpr char kMagicV2[8] = {'M', 'P', 'C', 'F', 'C', 'K', 'P', '2'};
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f) std::fclose(f);
+/// Relative extent comparison that is exact for identical values, symmetric,
+/// and not vacuously false when the reference extent is zero or the stored
+/// value carries a negative perturbation (`< 1e-12 * extent` was both).
+bool extent_matches(double stored, double expected) {
+  const double scale = std::max(std::fabs(stored), std::fabs(expected));
+  return std::fabs(stored - expected) <= 1e-12 * scale;
+}
+
+/// Shared tail of both format versions: validate sizes against the grid and
+/// the actual file, inflate, scatter into the blocks.
+CheckpointClock finish_load(Cursor& cur, Grid& g, std::int32_t dims[4], double time,
+                            double extent, std::int64_t steps, std::uint64_t raw_bytes,
+                            std::uint64_t comp_bytes, const std::uint32_t* payload_crc) {
+  require(dims[0] == g.blocks_x() && dims[1] == g.blocks_y() &&
+              dims[2] == g.blocks_z() && dims[3] == g.block_size(),
+          "load_checkpoint: grid shape mismatch");
+  require(extent_matches(extent, g.h() * g.cells_x()),
+          "load_checkpoint: domain extent mismatch");
+  // Both sizes are untrusted: validate against ground truth (the grid shape
+  // and the bytes actually present) BEFORE allocating anything.
+  require(raw_bytes == g.cell_count() * sizeof(Cell),
+          "load_checkpoint: payload size mismatch");
+  require(comp_bytes == cur.remaining(),
+          "load_checkpoint: truncated or oversized payload");
+  const std::uint8_t* blob = cur.window(cur.offset(), comp_bytes);
+  if (payload_crc != nullptr)
+    require(crc32_bytes(blob, comp_bytes) == *payload_crc,
+            "load_checkpoint: payload CRC mismatch");
+
+  std::vector<std::uint8_t> raw(raw_bytes);
+  uLongf raw_len = static_cast<uLongf>(raw.size());
+  require(uncompress(raw.data(), &raw_len, blob, static_cast<uLong>(comp_bytes)) ==
+                  Z_OK &&
+              raw_len == raw_bytes,
+          "load_checkpoint: zlib failure");
+
+  std::size_t off = 0;
+  for (int b = 0; b < g.block_count(); ++b) {
+    const std::size_t n = g.block(b).cells() * sizeof(Cell);
+    std::memcpy(g.block(b).data(), raw.data() + off, n);
+    off += n;
   }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+  return CheckpointClock{time, static_cast<long>(steps)};
+}
 
 }  // namespace
 
-std::uint64_t save_checkpoint(const std::string& path, const Simulation& sim) {
-  const Grid& g = sim.grid();
+std::uint64_t save_grid_checkpoint(const std::string& path, const Grid& g,
+                                   double time, long steps) {
   const std::size_t cell_bytes = g.cell_count() * sizeof(Cell);
   std::vector<std::uint8_t> raw(cell_bytes);
   std::size_t off = 0;
@@ -43,69 +81,68 @@ std::uint64_t save_checkpoint(const std::string& path, const Simulation& sim) {
           "save_checkpoint: zlib failure");
   comp.resize(comp_len);
 
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  require(f != nullptr, "save_checkpoint: cannot open " + path);
-  auto w = [&](const void* p, std::size_t n) {
-    require(std::fwrite(p, 1, n, f.get()) == n, "save_checkpoint: short write");
-  };
-  w(kMagic, 8);
-  const std::int32_t dims[4] = {g.blocks_x(), g.blocks_y(), g.blocks_z(), g.block_size()};
-  w(dims, sizeof(dims));
-  const double time = sim.time();
-  const double extent = g.h() * g.cells_x();
-  const std::int64_t steps = sim.step_count();
-  w(&time, sizeof(time));
-  w(&extent, sizeof(extent));
-  w(&steps, sizeof(steps));
-  const std::uint64_t sizes[2] = {raw.size(), comp.size()};
-  w(sizes, sizeof(sizes));
-  w(comp.data(), comp.size());
-  return 8 + sizeof(dims) + 24 + sizeof(sizes) + comp.size();
+  std::vector<std::uint8_t> header;  // bytes [12, 72): everything the crc covers
+  header.reserve(60);
+  for (std::int32_t v : {g.blocks_x(), g.blocks_y(), g.blocks_z(), g.block_size()})
+    put_bytes(header, v);
+  put_bytes(header, time);
+  put_bytes(header, g.h() * g.cells_x());
+  put_bytes(header, static_cast<std::int64_t>(steps));
+  put_bytes(header, static_cast<std::uint64_t>(raw.size()));
+  put_bytes(header, static_cast<std::uint64_t>(comp.size()));
+  put_bytes(header, crc32_bytes(comp.data(), comp.size()));
+
+  SafeFile f(path);
+  f.write(kMagicV2, 8);
+  f.put(crc32_bytes(header.data(), header.size()));
+  f.write(header.data(), header.size());
+  f.write(comp.data(), comp.size());
+  f.commit();
+  return f.bytes_written();
+}
+
+CheckpointClock load_grid_checkpoint(const std::string& path, Grid& g) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  Cursor cur(bytes);
+  char magic[8];
+  cur.read(magic, 8);
+
+  if (std::memcmp(magic, kMagicV2, 8) == 0) {
+    const auto header_crc = cur.get<std::uint32_t>();
+    require(bytes.size() >= 72, "load_checkpoint: truncated header");
+    require(crc32_bytes(bytes.data() + 12, 60) == header_crc,
+            "load_checkpoint: header CRC mismatch");
+    std::int32_t dims[4];
+    cur.read(dims, sizeof(dims));
+    const auto time = cur.get<double>();
+    const auto extent = cur.get<double>();
+    const auto steps = cur.get<std::int64_t>();
+    const auto raw_bytes = cur.get<std::uint64_t>();
+    const auto comp_bytes = cur.get<std::uint64_t>();
+    const auto payload_crc = cur.get<std::uint32_t>();
+    return finish_load(cur, g, dims, time, extent, steps, raw_bytes, comp_bytes,
+                       &payload_crc);
+  }
+
+  require(std::memcmp(magic, kMagicV1, 8) == 0, "load_checkpoint: bad magic");
+  std::int32_t dims[4];
+  cur.read(dims, sizeof(dims));
+  const auto time = cur.get<double>();
+  const auto extent = cur.get<double>();
+  const auto steps = cur.get<std::int64_t>();
+  const auto raw_bytes = cur.get<std::uint64_t>();
+  const auto comp_bytes = cur.get<std::uint64_t>();
+  return finish_load(cur, g, dims, time, extent, steps, raw_bytes, comp_bytes,
+                     nullptr);
+}
+
+std::uint64_t save_checkpoint(const std::string& path, const Simulation& sim) {
+  return save_grid_checkpoint(path, sim.grid(), sim.time(), sim.step_count());
 }
 
 void load_checkpoint(const std::string& path, Simulation& sim) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  require(f != nullptr, "load_checkpoint: cannot open " + path);
-  auto r = [&](void* p, std::size_t n) {
-    require(std::fread(p, 1, n, f.get()) == n, "load_checkpoint: short read");
-  };
-  char magic[8];
-  r(magic, 8);
-  require(std::memcmp(magic, kMagic, 8) == 0, "load_checkpoint: bad magic");
-  std::int32_t dims[4];
-  r(dims, sizeof(dims));
-  Grid& g = sim.grid();
-  require(dims[0] == g.blocks_x() && dims[1] == g.blocks_y() && dims[2] == g.blocks_z() &&
-              dims[3] == g.block_size(),
-          "load_checkpoint: grid shape mismatch");
-  double time, extent;
-  std::int64_t steps;
-  r(&time, sizeof(time));
-  r(&extent, sizeof(extent));
-  r(&steps, sizeof(steps));
-  require(std::fabs(extent - g.h() * g.cells_x()) < 1e-12 * extent,
-          "load_checkpoint: domain extent mismatch");
-  std::uint64_t sizes[2];
-  r(sizes, sizeof(sizes));
-  std::vector<std::uint8_t> comp(sizes[1]);
-  r(comp.data(), comp.size());
-
-  std::vector<std::uint8_t> raw(sizes[0]);
-  uLongf raw_len = static_cast<uLongf>(raw.size());
-  require(uncompress(raw.data(), &raw_len, comp.data(),
-                     static_cast<uLong>(comp.size())) == Z_OK &&
-              raw_len == sizes[0],
-          "load_checkpoint: zlib failure");
-  require(raw.size() == g.cell_count() * sizeof(Cell),
-          "load_checkpoint: payload size mismatch");
-
-  std::size_t off = 0;
-  for (int b = 0; b < g.block_count(); ++b) {
-    const std::size_t n = g.block(b).cells() * sizeof(Cell);
-    std::memcpy(g.block(b).data(), raw.data() + off, n);
-    off += n;
-  }
-  sim.restore_clock(time, steps);
+  const CheckpointClock clock = load_grid_checkpoint(path, sim.grid());
+  sim.restore_clock(clock.time, clock.steps);
 }
 
 }  // namespace mpcf::io

@@ -1,38 +1,22 @@
 #include "io/compressed_file.h"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
 #include <vector>
 
 #include "common/error.h"
+#include "io/safe_file.h"
 
 namespace mpcf::io {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'P', 'C', 'F', 'C', 'Q', '0', '1'};
+constexpr char kMagicV1[8] = {'M', 'P', 'C', 'F', 'C', 'Q', '0', '1'};
+constexpr char kMagicV2[8] = {'M', 'P', 'C', 'F', 'C', 'Q', '0', '2'};
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-template <typename T>
-void put(std::vector<std::uint8_t>& buf, const T& v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf.insert(buf.end(), p, p + sizeof(T));
-}
-
-template <typename T>
-T get(const std::uint8_t*& p) {
-  T v;
-  std::memcpy(&v, p, sizeof(T));
-  p += sizeof(T);
-  return v;
-}
+// deflate cannot shrink data below ~1032:1, so a directory whose raw size
+// claims more than that over the blob actually present is corrupt; checking
+// it caps attacker-controlled allocations at ~1000x the real file size.
+constexpr std::uint64_t kMaxZlibRatio = 1032;
 
 }  // namespace
 
@@ -40,83 +24,113 @@ std::uint64_t write_compressed(const std::string& path,
                                const compression::CompressedQuantity& cq) {
   // Header + directory first (so offsets are known), then blobs at offsets
   // computed by an exclusive prefix sum over encoded sizes.
-  std::vector<std::uint8_t> header;
-  header.insert(header.end(), kMagic, kMagic + 8);
+  std::vector<std::uint8_t> header;  // bytes covered by header_crc
   for (std::int32_t v : {cq.bx, cq.by, cq.bz, cq.block_size, cq.levels, cq.quantity})
-    put(header, v);
-  put(header, cq.eps);
-  put(header, static_cast<std::uint8_t>(cq.derived_pressure));
-  put(header, static_cast<std::uint8_t>(cq.coder));
+    put_bytes(header, v);
+  put_bytes(header, cq.eps);
+  put_bytes(header, static_cast<std::uint8_t>(cq.derived_pressure));
+  put_bytes(header, static_cast<std::uint8_t>(cq.coder));
   const std::uint8_t pad[2] = {0, 0};
   header.insert(header.end(), pad, pad + 2);
-  put(header, static_cast<std::uint32_t>(cq.streams.size()));
+  put_bytes(header, static_cast<std::uint32_t>(cq.streams.size()));
 
   // Directory size is data-independent given the id counts, so compute it,
   // then run the exclusive scan for the blob offsets.
   std::uint64_t dir_bytes = 0;
   for (const auto& s : cq.streams)
-    dir_bytes += 4 + 8 + 8 + 8 + 4ull * s.block_ids.size();
-  std::uint64_t offset = header.size() + dir_bytes;
+    dir_bytes += 4 + 8 + 8 + 8 + 4 + 4ull * s.block_ids.size();
+  std::uint64_t offset = 8 + 4 + header.size() + dir_bytes;
 
-  std::vector<std::uint8_t> dir;
-  dir.reserve(dir_bytes);
   for (const auto& s : cq.streams) {
-    put(dir, static_cast<std::uint32_t>(s.block_ids.size()));
-    put(dir, s.raw_bytes);
-    put(dir, static_cast<std::uint64_t>(s.data.size()));
-    put(dir, offset);  // exclusive prefix sum over stream sizes
-    for (std::uint32_t id : s.block_ids) put(dir, id);
+    put_bytes(header, static_cast<std::uint32_t>(s.block_ids.size()));
+    put_bytes(header, s.raw_bytes);
+    put_bytes(header, static_cast<std::uint64_t>(s.data.size()));
+    put_bytes(header, offset);  // exclusive prefix sum over stream sizes
+    put_bytes(header, crc32_bytes(s.data.data(), s.data.size()));
+    for (std::uint32_t id : s.block_ids) put_bytes(header, id);
     offset += s.data.size();
   }
 
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  require(f != nullptr, "write_compressed: cannot open " + path);
-  auto write_all = [&](const void* p, std::size_t n) {
-    require(std::fwrite(p, 1, n, f.get()) == n, "write_compressed: short write");
-  };
-  write_all(header.data(), header.size());
-  write_all(dir.data(), dir.size());
+  SafeFile f(path);
+  f.write(kMagicV2, 8);
+  f.put(crc32_bytes(header.data(), header.size()));
+  f.write(header.data(), header.size());
   for (const auto& s : cq.streams)
-    if (!s.data.empty()) write_all(s.data.data(), s.data.size());
-  return offset;
+    if (!s.data.empty()) f.write(s.data.data(), s.data.size());
+  f.commit();
+  return f.bytes_written();
 }
 
 compression::CompressedQuantity read_compressed(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  require(f != nullptr, "read_compressed: cannot open " + path);
-  std::fseek(f.get(), 0, SEEK_END);
-  const long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  require(size > 44, "read_compressed: file too small");
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  require(std::fread(bytes.data(), 1, bytes.size(), f.get()) == bytes.size(),
-          "read_compressed: short read");
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  Cursor cur(bytes);
+  char magic[8];
+  cur.read(magic, 8);
+  int version;
+  if (std::memcmp(magic, kMagicV2, 8) == 0) {
+    version = 2;
+  } else {
+    require(std::memcmp(magic, kMagicV1, 8) == 0, "read_compressed: bad magic");
+    version = 1;
+  }
+  const std::uint32_t header_crc = version == 2 ? cur.get<std::uint32_t>() : 0;
+  const std::size_t crc_begin = cur.offset();
 
-  const std::uint8_t* p = bytes.data();
-  require(std::memcmp(p, kMagic, 8) == 0, "read_compressed: bad magic");
-  p += 8;
   compression::CompressedQuantity cq;
-  cq.bx = get<std::int32_t>(p);
-  cq.by = get<std::int32_t>(p);
-  cq.bz = get<std::int32_t>(p);
-  cq.block_size = get<std::int32_t>(p);
-  cq.levels = get<std::int32_t>(p);
-  cq.quantity = get<std::int32_t>(p);
-  cq.eps = get<float>(p);
-  cq.derived_pressure = get<std::uint8_t>(p) != 0;
-  cq.coder = static_cast<compression::Coder>(get<std::uint8_t>(p));
-  p += 2;  // pad
-  const auto nstreams = get<std::uint32_t>(p);
+  cq.bx = cur.get<std::int32_t>();
+  cq.by = cur.get<std::int32_t>();
+  cq.bz = cur.get<std::int32_t>();
+  cq.block_size = cur.get<std::int32_t>();
+  cq.levels = cur.get<std::int32_t>();
+  cq.quantity = cur.get<std::int32_t>();
+  cq.eps = cur.get<float>();
+  cq.derived_pressure = cur.get<std::uint8_t>() != 0;
+  cq.coder = static_cast<compression::Coder>(cur.get<std::uint8_t>());
+  cur.skip(2);  // pad
+  const auto nstreams = cur.get<std::uint32_t>();
+  // Every stream costs at least one fixed-size directory entry; anything
+  // larger than the remaining bytes allow is corrupt (checked before the
+  // resize so hostile counts cannot drive multi-GB allocations).
+  const std::size_t entry_bytes = version == 2 ? 32 : 28;
+  require(nstreams <= cur.remaining() / entry_bytes,
+          "read_compressed: corrupt stream count");
   cq.streams.resize(nstreams);
-  for (auto& s : cq.streams) {
-    const auto nids = get<std::uint32_t>(p);
-    s.raw_bytes = get<std::uint64_t>(p);
-    const auto blob_size = get<std::uint64_t>(p);
-    const auto blob_offset = get<std::uint64_t>(p);
+
+  struct BlobRef {
+    std::uint64_t offset, size;
+    std::uint32_t crc;
+  };
+  std::vector<BlobRef> blobs(nstreams);
+  for (std::size_t i = 0; i < nstreams; ++i) {
+    auto& s = cq.streams[i];
+    const auto nids = cur.get<std::uint32_t>();
+    s.raw_bytes = cur.get<std::uint64_t>();
+    blobs[i].size = cur.get<std::uint64_t>();
+    blobs[i].offset = cur.get<std::uint64_t>();
+    blobs[i].crc = version == 2 ? cur.get<std::uint32_t>() : 0;
+    require(nids <= cur.remaining() / 4, "read_compressed: corrupt id count");
+    // Overflow-safe window check (`offset + size <= total` would wrap).
+    require(blobs[i].size <= bytes.size() &&
+                blobs[i].offset <= bytes.size() - blobs[i].size,
+            "read_compressed: bad offsets");
+    require(s.raw_bytes <= kMaxZlibRatio * blobs[i].size + 4096,
+            "read_compressed: implausible raw size");
     s.block_ids.resize(nids);
-    for (auto& id : s.block_ids) id = get<std::uint32_t>(p);
-    require(blob_offset + blob_size <= bytes.size(), "read_compressed: bad offsets");
-    s.data.assign(bytes.data() + blob_offset, bytes.data() + blob_offset + blob_size);
+    for (auto& id : s.block_ids) id = cur.get<std::uint32_t>();
+  }
+
+  if (version == 2)
+    require(crc32_bytes(bytes.data() + crc_begin, cur.offset() - crc_begin) ==
+                header_crc,
+            "read_compressed: header CRC mismatch");
+
+  // Copy the blobs only once the whole directory is validated.
+  for (std::size_t i = 0; i < nstreams; ++i) {
+    const std::uint8_t* blob = cur.window(blobs[i].offset, blobs[i].size);
+    if (version == 2)
+      require(crc32_bytes(blob, blobs[i].size) == blobs[i].crc,
+              "read_compressed: stream CRC mismatch");
+    cq.streams[i].data.assign(blob, blob + blobs[i].size);
   }
   return cq;
 }

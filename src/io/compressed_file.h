@@ -5,14 +5,26 @@
 // sizes — the serial equivalent of the MPI_Exscan + collective-write scheme;
 // the cluster layer reuses this writer through the same offset discipline.
 //
-// Layout (little endian):
-//   magic "MPCFCQ01"                                    8 bytes
+// Files are written atomically (io::SafeFile: temp + fsync + rename) and
+// are integrity-checked: a CRC32 over the header + directory and one CRC32
+// per stream blob, so truncation, torn tails, and single-bit rot all fail
+// loudly at read time. The reader parses through a bounds-checked cursor —
+// corrupt directory fields (stream counts, id counts, blob offsets/sizes,
+// raw sizes) are rejected before any allocation or copy.
+//
+// v2 layout ("MPCFCQ02", written by write_compressed; little endian):
+//   magic "MPCFCQ02"                                    8 bytes
+//   u32 header_crc   CRC32 of header+directory below    4
 //   i32 bx, by, bz, block_size, levels, quantity        24
-//   f32 eps, u8 derived_pressure, u8 pad[3]             8
+//   f32 eps, u8 derived_pressure, u8 coder, u8 pad[2]   8
 //   u32 stream_count                                    4
-//   per stream: u32 id_count, u64 raw_bytes, u64 size,  20 + ids
-//               u64 offset (from file start), u32 ids[]
+//   per stream: u32 id_count, u64 raw_bytes, u64 size,  32 + 4*id_count
+//               u64 offset (from file start),
+//               u32 blob_crc, u32 ids[]
 //   stream blobs at their offsets
+//
+// v1 ("MPCFCQ01": no CRC fields, 28-byte directory entries) is still read
+// for backward compatibility, with full bounds checking.
 #pragma once
 
 #include <string>
@@ -21,11 +33,11 @@
 
 namespace mpcf::io {
 
-/// Writes a compressed quantity dump; returns total bytes written.
+/// Writes a compressed quantity dump atomically; returns total bytes.
 std::uint64_t write_compressed(const std::string& path,
                                const compression::CompressedQuantity& cq);
 
-/// Reads a dump written by write_compressed.
+/// Reads a dump written by write_compressed (v2 or legacy v1).
 [[nodiscard]] compression::CompressedQuantity read_compressed(const std::string& path);
 
 }  // namespace mpcf::io

@@ -1,0 +1,137 @@
+#include "io/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace mpcf::io::fault {
+
+namespace {
+
+struct State {
+  std::mutex mu;
+  Plan plan;
+  long writes_seen = 0;
+  bool has_fired = false;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+void arm(const Plan& plan) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plan = plan;
+  s.writes_seen = 0;
+  s.has_fired = false;
+}
+
+void disarm() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plan = Plan{};
+  s.writes_seen = 0;
+}
+
+bool armed() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.plan.kind != Kind::kNone;
+}
+
+bool fired() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.has_fired;
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("MPCF_IO_FAULT");
+  if (env == nullptr || env[0] == '\0') {
+    disarm();
+    return;
+  }
+  Plan plan;
+  char kind[16] = {0};
+  unsigned long long a = 0, b = 0;
+  const int n = std::sscanf(env, "%15[a-z]:%llu:%llu", kind, &a, &b);
+  const std::string k = kind;
+  if (n >= 2 && k == "enospc") {
+    plan.kind = Kind::kEnospc;
+    plan.nth_write = static_cast<long>(a);
+  } else if (n >= 2 && k == "torn") {
+    plan.kind = Kind::kTornWrite;
+    plan.nth_write = static_cast<long>(a);
+  } else if (n >= 2 && k == "truncate") {
+    plan.kind = Kind::kTruncate;
+    plan.byte = a;
+  } else if (n >= 2 && k == "bitflip") {
+    plan.kind = Kind::kBitFlip;
+    plan.byte = a;
+    plan.bit = n >= 3 ? static_cast<int>(b % 8) : 0;
+  }
+  arm(plan);  // unparsable strings arm kNone, i.e. disarm
+}
+
+WriteFault on_write(std::size_t requested, std::size_t* torn_bytes) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.plan.kind != Kind::kEnospc && s.plan.kind != Kind::kTornWrite)
+    return WriteFault::kNone;
+  const long index = s.writes_seen++;
+  if (index != s.plan.nth_write) return WriteFault::kNone;
+  const Kind kind = s.plan.kind;
+  s.plan = Plan{};  // one-shot
+  s.has_fired = true;
+  if (kind == Kind::kTornWrite) {
+    *torn_bytes = requested / 2;
+    return WriteFault::kTorn;
+  }
+  return WriteFault::kEnospc;
+}
+
+void on_commit(const std::string& path) {
+  State& s = state();
+  Plan plan;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.plan.kind != Kind::kTruncate && s.plan.kind != Kind::kBitFlip) return;
+    plan = s.plan;
+    s.plan = Plan{};  // one-shot
+    s.has_fired = true;
+  }
+  if (plan.kind == Kind::kTruncate) {
+    // Re-write the file cut at plan.byte (portable stdio truncation).
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    require(f != nullptr, "fault: cannot reopen " + path);
+    std::string bytes;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, got);
+    std::fclose(f);
+    if (bytes.size() > plan.byte) bytes.resize(static_cast<std::size_t>(plan.byte));
+    f = std::fopen(path.c_str(), "wb");
+    require(f != nullptr, "fault: cannot rewrite " + path);
+    require(std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size(),
+            "fault: rewrite failed for " + path);
+    std::fclose(f);
+  } else {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    require(f != nullptr, "fault: cannot reopen " + path);
+    std::fseek(f, static_cast<long>(plan.byte), SEEK_SET);
+    const int c = std::fgetc(f);
+    if (c != EOF) {
+      std::fseek(f, static_cast<long>(plan.byte), SEEK_SET);
+      std::fputc(c ^ (1 << plan.bit), f);
+    }
+    std::fclose(f);
+  }
+}
+
+}  // namespace mpcf::io::fault

@@ -1,0 +1,73 @@
+// Deterministic fault injection for the I/O substrate. Production I/O at
+// the paper's scale (multi-TB wavelet snapshots, restart files) fails in
+// exactly four boring ways — the disk fills up, the process dies mid-write,
+// the file lands short, or a bit rots after landing — and every one of them
+// must surface as a clean error plus an auto-recovery path, never as UB or
+// silently corrupt restored state. This shim lets tests drive each failure
+// deterministically through the SafeFile writer:
+//
+//   kEnospc    the Nth write call fails cleanly ("No space left on device")
+//   kTornWrite the Nth write call persists only half its bytes and then
+//              simulates a process crash: the temp file is LEFT on disk
+//              (no destructor cleanup), the final path is never created
+//   kTruncate  the committed file is cut to `byte` bytes after the atomic
+//              rename (bit-rot / lost-tail corruption of a landed file)
+//   kBitFlip   bit `bit` of byte `byte` of the committed file is flipped
+//              after the rename (silent single-bit rot)
+//
+// Plans are one-shot: a plan fires once, then disarms itself, so a retry
+// after the injected failure behaves like healthy hardware. Control is
+// programmatic (arm/disarm) or via the MPCF_IO_FAULT environment variable
+// ("enospc:N" | "torn:N" | "truncate:BYTE" | "bitflip:BYTE[:BIT]"),
+// re-parsed by arm_from_env(). Zero overhead concern: all hooks sit on the
+// cold file-write path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mpcf::io::fault {
+
+enum class Kind {
+  kNone = 0,
+  kEnospc,
+  kTornWrite,
+  kTruncate,
+  kBitFlip,
+};
+
+struct Plan {
+  Kind kind = Kind::kNone;
+  long nth_write = 0;      ///< 0-based index of the failing write call
+  std::uint64_t byte = 0;  ///< truncate length / bit-flip byte offset
+  int bit = 0;             ///< bit-flip bit index (0..7)
+};
+
+/// Arms a one-shot plan and resets the write-call counter.
+void arm(const Plan& plan);
+void disarm();
+[[nodiscard]] bool armed();
+/// True once the currently/last armed plan has fired (reset by arm()).
+[[nodiscard]] bool fired();
+
+/// Parses MPCF_IO_FAULT and arms the described plan; disarms when the
+/// variable is unset, empty, or unparsable.
+void arm_from_env();
+
+// --- Hooks called by SafeFile (not intended for general use) -------------
+
+enum class WriteFault {
+  kNone,    ///< proceed normally
+  kEnospc,  ///< fail this write without persisting anything
+  kTorn,    ///< persist only *torn_bytes, then simulate a crash
+};
+
+/// Accounts one write call of `requested` bytes against the armed plan.
+WriteFault on_write(std::size_t requested, std::size_t* torn_bytes);
+
+/// Applies any armed post-commit corruption (truncate/bit-flip) to the
+/// committed file at `path`.
+void on_commit(const std::string& path);
+
+}  // namespace mpcf::io::fault

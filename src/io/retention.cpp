@@ -1,0 +1,89 @@
+#include "io/retention.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.h"
+
+namespace mpcf::io {
+
+namespace fs = std::filesystem;
+
+CheckpointRotator::CheckpointRotator(std::string directory, std::string basename,
+                                     int keep)
+    : dir_(std::move(directory)), base_(std::move(basename)), keep_(keep) {
+  require(keep_ >= 1, "CheckpointRotator: keep must be >= 1");
+  require(!base_.empty(), "CheckpointRotator: basename must be non-empty");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best effort; save() fails loudly anyway
+}
+
+std::string CheckpointRotator::path_for(long step) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "_%08ld.ckp", step);
+  return dir_ + "/" + base_ + name;
+}
+
+std::vector<std::string> CheckpointRotator::list() const {
+  const std::string prefix = base_ + "_";
+  const std::string suffix = ".ckp";
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;  // skips SafeFile ".ckp.tmp" leftovers too
+    names.push_back(name);
+  }
+  // Step numbers are zero-padded, so lexicographic order == step order.
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const auto& n : names) paths.push_back(dir_ + "/" + n);
+  return paths;
+}
+
+std::string CheckpointRotator::save(long step, const Writer& writer) {
+  const std::string path = path_for(step);
+  writer(path);
+  std::vector<std::string> existing = list();
+  while (existing.size() > static_cast<std::size_t>(keep_)) {
+    std::error_code ec;
+    fs::remove(existing.front(), ec);
+    existing.erase(existing.begin());
+  }
+  return path;
+}
+
+std::string CheckpointRotator::save(const Simulation& sim) {
+  return save(sim.step_count(),
+              [&sim](const std::string& path) { save_checkpoint(path, sim); });
+}
+
+std::string CheckpointRotator::load_latest_valid(
+    const Loader& loader, std::vector<std::string>* skipped) const {
+  std::vector<std::string> paths = list();
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    try {
+      loader(*it);
+      return *it;
+    } catch (const std::exception&) {
+      if (skipped != nullptr) skipped->push_back(*it);
+    }
+  }
+  return "";
+}
+
+bool CheckpointRotator::load_latest_valid(Simulation& sim,
+                                          std::vector<std::string>* skipped) const {
+  return !load_latest_valid(
+              [&sim](const std::string& path) { load_checkpoint(path, sim); },
+              skipped)
+              .empty();
+}
+
+}  // namespace mpcf::io

@@ -1,0 +1,63 @@
+// Rotating checkpoint retention with auto-recovery. Production runs
+// checkpoint periodically; keeping only the last K files bounds disk use,
+// and recovery must tolerate the newest file being garbage (the run may
+// have died mid-write, the disk may have been full, a bit may have rotted):
+// load_latest_valid() scans newest -> oldest and restores the first
+// checkpoint that passes the format's full validation (CRCs, shape, sizes),
+// reporting the corrupt files it skipped. Writes go through io::SafeFile,
+// so `.tmp` leftovers of a crashed writer are never mistaken for
+// checkpoints and the newest *committed* file is complete by construction
+// on healthy hardware — the scan exists for everything else.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/checkpoint.h"
+
+namespace mpcf::io {
+
+class CheckpointRotator {
+ public:
+  /// Checkpoints land in `directory` as `<basename>_<step:08>.ckp`; after
+  /// each save, only the newest `keep` files are retained (keep >= 1).
+  CheckpointRotator(std::string directory, std::string basename, int keep = 3);
+
+  [[nodiscard]] std::string path_for(long step) const;
+
+  using Writer = std::function<void(const std::string& path)>;
+  using Loader = std::function<void(const std::string& path)>;
+
+  /// Writes a checkpoint for `step` through `writer`, then prunes beyond
+  /// `keep`. Returns the path written. If the writer throws (ENOSPC, torn
+  /// write, ...), nothing is pruned and the error propagates — older
+  /// checkpoints stay untouched.
+  std::string save(long step, const Writer& writer);
+
+  /// Node-layer convenience: save_checkpoint at the simulation's step.
+  std::string save(const Simulation& sim);
+
+  /// Scans newest -> oldest; the first checkpoint whose loader does not
+  /// throw wins. Corrupt files are left in place (forensics) and appended
+  /// to `skipped` when non-null. Returns the recovered path, or "" when no
+  /// valid checkpoint exists.
+  std::string load_latest_valid(const Loader& loader,
+                                std::vector<std::string>* skipped = nullptr) const;
+
+  /// Node-layer convenience; returns false when nothing valid was found.
+  bool load_latest_valid(Simulation& sim,
+                         std::vector<std::string>* skipped = nullptr) const;
+
+  /// Retained checkpoint paths, oldest -> newest (ignores foreign files and
+  /// SafeFile `.tmp` leftovers).
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  [[nodiscard]] int keep() const noexcept { return keep_; }
+
+ private:
+  std::string dir_, base_;
+  int keep_;
+};
+
+}  // namespace mpcf::io

@@ -27,6 +27,7 @@ const char* trace_phase_name(TracePhase p) {
     case TracePhase::kUpdate: return "update";
     case TracePhase::kReduce: return "reduce";
     case TracePhase::kDump: return "dump";
+    case TracePhase::kCheckpoint: return "checkpoint";
   }
   return "?";
 }

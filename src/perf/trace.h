@@ -22,8 +22,11 @@ enum class TracePhase : int {
   kUpdate,        ///< low-storage RK update
   kReduce,        ///< DT reduction (per-rank SOS + allreduce)
   kDump,          ///< compressed data dump
+  kCheckpoint,    ///< checkpoint save / restart recovery (one span per
+                  ///< recovery attempt, so skipped-corrupt-file events are
+                  ///< visible in the trace)
 };
-constexpr int kNumTracePhases = 6;
+constexpr int kNumTracePhases = 7;
 
 [[nodiscard]] const char* trace_phase_name(TracePhase p);
 

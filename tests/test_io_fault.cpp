@@ -1,0 +1,722 @@
+// Crash-safety and integrity tests of the hardened I/O substrate: the
+// corruption matrix (truncate at every field boundary, single-bit flips in
+// header/directory/payload, injected ENOSPC and torn writes at every write
+// call) for both on-disk formats, v1 backward compatibility, and rotating
+// retention with auto-recovery (crash-then-restart resumes bitwise equal to
+// an uninterrupted run).
+#include <gtest/gtest.h>
+#include <zlib.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_simulation.h"
+#include "compression/async_dumper.h"
+#include "compression/compressor.h"
+#include "io/checkpoint.h"
+#include "io/compressed_file.h"
+#include "io/fault_injection.h"
+#include "io/retention.h"
+#include "io/safe_file.h"
+#include "workload/cloud.h"
+
+namespace mpcf {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every fault test disarms on exit so a failing EXPECT cannot leak an
+/// armed plan into the next test.
+struct FaultGuard {
+  ~FaultGuard() { io::fault::disarm(); }
+};
+
+Simulation make_sim() {
+  Simulation::Params p;
+  p.extent = 1e-3;
+  Simulation sim(2, 2, 2, 8, p);
+  std::vector<Bubble> bubbles{{0.4e-3, 0.5e-3, 0.5e-3, 0.15e-3},
+                              {0.65e-3, 0.55e-3, 0.45e-3, 0.1e-3}};
+  set_cloud_ic(sim.grid(), bubbles, TwoPhaseIC{});
+  return sim;
+}
+
+void expect_grids_equal(const Grid& a, const Grid& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  for (int blk = 0; blk < a.block_count(); ++blk)
+    ASSERT_EQ(std::memcmp(a.block(blk).data(), b.block(blk).data(),
+                          a.block(blk).cells() * sizeof(Cell)),
+              0)
+        << "block " << blk;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  return io::read_file(path);
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+void flip_bit(const std::string& path, std::size_t byte, int bit) {
+  auto bytes = slurp(path);
+  ASSERT_LT(byte, bytes.size());
+  bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+  spit(path, bytes);
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// --- SafeFile / Cursor primitives ----------------------------------------
+
+TEST(SafeFile, CommitIsAtomicAndAbortCleansUp) {
+  const std::string path = ::testing::TempDir() + "/mpcf_safe.bin";
+  std::remove(path.c_str());
+  {
+    io::SafeFile f(path);
+    f.write("hello", 5);
+    EXPECT_FALSE(fs::exists(path)) << "final path visible before commit";
+    EXPECT_TRUE(fs::exists(f.tmp_path()));
+    f.commit();
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(f.tmp_path()));
+    EXPECT_EQ(f.bytes_written(), 5u);
+  }
+  {
+    io::SafeFile f(path);  // overwrite attempt, never committed
+    f.write("junk", 4);
+  }
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "aborted temp file not cleaned up";
+  const auto bytes = slurp(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "hello")
+      << "aborted write clobbered the committed file";
+  std::remove(path.c_str());
+}
+
+TEST(Cursor, RejectsReadsPastEnd) {
+  const std::uint8_t buf[8] = {};
+  io::Cursor cur(buf, sizeof(buf));
+  EXPECT_EQ(cur.get<std::uint32_t>(), 0u);
+  EXPECT_THROW((void)cur.get<std::uint64_t>(), PreconditionError);
+  EXPECT_THROW(cur.skip(5), PreconditionError);
+  EXPECT_NO_THROW(cur.skip(4));
+}
+
+TEST(Cursor, WindowIsOverflowSafe) {
+  const std::uint8_t buf[16] = {};
+  io::Cursor cur(buf, sizeof(buf));
+  EXPECT_NO_THROW((void)cur.window(8, 8));
+  EXPECT_THROW((void)cur.window(8, 9), PreconditionError);
+  // offset + length wraps uint64 to a small value: must still be rejected.
+  EXPECT_THROW((void)cur.window(2, ~std::uint64_t{0}), PreconditionError);
+  EXPECT_THROW((void)cur.window(~std::uint64_t{0}, 2), PreconditionError);
+}
+
+// --- Checkpoint corruption matrix ----------------------------------------
+
+class CheckpointCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    io::fault::disarm();
+    sim_ = std::make_unique<Simulation>(make_sim());
+    for (int s = 0; s < 3; ++s) sim_->step();
+    path_ = ::testing::TempDir() + "/mpcf_fault_ckpt.bin";
+    io::save_checkpoint(path_, *sim_);
+    bytes_ = slurp(path_);
+    ASSERT_GT(bytes_.size(), 72u);
+  }
+  void TearDown() override {
+    io::fault::disarm();
+    std::remove(path_.c_str());
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(CheckpointCorruption, TruncationAtEveryBoundaryIsRejected) {
+  // Every header byte boundary, plus cuts inside and at the end of the
+  // payload — nothing short of the full file may load.
+  std::vector<std::size_t> cuts;
+  for (std::size_t c = 0; c <= 72; ++c) cuts.push_back(c);
+  cuts.push_back(72 + (bytes_.size() - 72) / 2);
+  cuts.push_back(bytes_.size() - 1);
+  for (const std::size_t cut : cuts) {
+    spit(path_, {bytes_.begin(), bytes_.begin() + cut});
+    Simulation victim = make_sim();
+    EXPECT_THROW(io::load_checkpoint(path_, victim), PreconditionError)
+        << "truncated at byte " << cut;
+  }
+}
+
+TEST_F(CheckpointCorruption, TrailingGarbageIsRejected) {
+  auto padded = bytes_;
+  padded.push_back(0x5a);
+  spit(path_, padded);
+  Simulation victim = make_sim();
+  EXPECT_THROW(io::load_checkpoint(path_, victim), PreconditionError);
+}
+
+TEST_F(CheckpointCorruption, SingleBitFlipAnywhereIsRejected) {
+  std::vector<std::size_t> targets;
+  for (std::size_t b = 0; b < 72; ++b) targets.push_back(b);  // header
+  for (std::size_t b = 72; b < bytes_.size(); b += 37) targets.push_back(b);
+  targets.push_back(bytes_.size() - 1);
+  for (const std::size_t byte : targets) {
+    auto corrupt = bytes_;
+    corrupt[byte] ^= 1u << (byte % 8);
+    spit(path_, corrupt);
+    Simulation victim = make_sim();
+    EXPECT_THROW(io::load_checkpoint(path_, victim), PreconditionError)
+        << "bit flip at byte " << byte << " restored silently";
+  }
+}
+
+TEST_F(CheckpointCorruption, HugeSizeFieldsDoNotAllocate) {
+  // Corrupt comp_bytes (offset 60) and raw_bytes (offset 52) to huge values
+  // with a recomputed header CRC, so only the size validation can save us.
+  for (const std::size_t field_off : {52u, 60u}) {
+    auto corrupt = bytes_;
+    const std::uint64_t huge = 1ull << 60;
+    std::memcpy(corrupt.data() + field_off, &huge, 8);
+    const std::uint32_t crc = io::crc32_bytes(corrupt.data() + 12, 60);
+    std::memcpy(corrupt.data() + 8, &crc, 4);
+    spit(path_, corrupt);
+    Simulation victim = make_sim();
+    EXPECT_THROW(io::load_checkpoint(path_, victim), PreconditionError)
+        << "field at " << field_off;
+  }
+}
+
+TEST_F(CheckpointCorruption, ExtentMismatchIsRejected) {
+  Simulation::Params p;
+  p.extent = 2e-3;  // same shape, different physical extent
+  Simulation wrong(2, 2, 2, 8, p);
+  EXPECT_THROW(io::load_checkpoint(path_, wrong), PreconditionError);
+}
+
+TEST_F(CheckpointCorruption, EnospcAtEveryWriteCallLeavesOldFileIntact) {
+  FaultGuard guard;
+  for (long nth = 0;; ++nth) {
+    Simulation changed = make_sim();
+    for (int s = 0; s < 5; ++s) changed.step();
+    io::fault::arm({io::fault::Kind::kEnospc, nth, 0, 0});
+    try {
+      io::save_checkpoint(path_, changed);
+      EXPECT_FALSE(io::fault::fired());
+      break;  // nth beyond the write-call count: healthy save, matrix done
+    } catch (const IoError&) {
+      EXPECT_TRUE(io::fault::fired());
+      EXPECT_FALSE(fs::exists(path_ + ".tmp")) << "nth=" << nth;
+      // Atomicity: the previously committed checkpoint is untouched.
+      Simulation victim = make_sim();
+      io::load_checkpoint(path_, victim);
+      expect_grids_equal(victim.grid(), sim_->grid());
+    }
+  }
+}
+
+TEST_F(CheckpointCorruption, TornWriteLeavesTempBehindAndOldFileIntact) {
+  FaultGuard guard;
+  io::fault::arm({io::fault::Kind::kTornWrite, 3, 0, 0});  // tear the payload
+  Simulation changed = make_sim();
+  EXPECT_THROW(io::save_checkpoint(path_, changed), IoError);
+  EXPECT_TRUE(io::fault::fired());
+  EXPECT_TRUE(fs::exists(path_ + ".tmp")) << "crash should leave the temp file";
+  Simulation victim = make_sim();
+  io::load_checkpoint(path_, victim);  // final path: still the old version
+  expect_grids_equal(victim.grid(), sim_->grid());
+  // The next healthy save simply overwrites the stale temp.
+  io::save_checkpoint(path_, changed);
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+  io::load_checkpoint(path_, victim);
+  expect_grids_equal(victim.grid(), changed.grid());
+}
+
+TEST_F(CheckpointCorruption, InjectedPostCommitCorruptionIsDetected) {
+  FaultGuard guard;
+  io::fault::arm({io::fault::Kind::kTruncate, 0, 80, 0});
+  io::save_checkpoint(path_, *sim_);
+  EXPECT_TRUE(io::fault::fired());
+  Simulation victim = make_sim();
+  EXPECT_THROW(io::load_checkpoint(path_, victim), PreconditionError);
+
+  io::save_checkpoint(path_, *sim_);  // heal
+  io::fault::arm({io::fault::Kind::kBitFlip, 0, 75, 2});
+  io::save_checkpoint(path_, *sim_);
+  EXPECT_TRUE(io::fault::fired());
+  EXPECT_THROW(io::load_checkpoint(path_, victim), PreconditionError);
+}
+
+TEST_F(CheckpointCorruption, EnvKnobArmsTheShim) {
+  FaultGuard guard;
+  ::setenv("MPCF_IO_FAULT", "enospc:0", 1);
+  io::fault::arm_from_env();
+  ::unsetenv("MPCF_IO_FAULT");
+  EXPECT_TRUE(io::fault::armed());
+  EXPECT_THROW(io::save_checkpoint(path_, *sim_), IoError);
+  EXPECT_TRUE(io::fault::fired());
+
+  ::setenv("MPCF_IO_FAULT", "bitflip:70:3", 1);
+  io::fault::arm_from_env();
+  ::unsetenv("MPCF_IO_FAULT");
+  io::save_checkpoint(path_, *sim_);
+  EXPECT_TRUE(io::fault::fired());
+  Simulation victim = make_sim();
+  EXPECT_THROW(io::load_checkpoint(path_, victim), PreconditionError);
+}
+
+// --- Checkpoint v1 backward compatibility --------------------------------
+
+void write_v1_checkpoint(const std::string& path, const Simulation& sim) {
+  const Grid& g = sim.grid();
+  std::vector<std::uint8_t> raw(g.cell_count() * sizeof(Cell));
+  std::size_t off = 0;
+  for (int b = 0; b < g.block_count(); ++b) {
+    const std::size_t n = g.block(b).cells() * sizeof(Cell);
+    std::memcpy(raw.data() + off, g.block(b).data(), n);
+    off += n;
+  }
+  uLongf comp_len = compressBound(static_cast<uLong>(raw.size()));
+  std::vector<std::uint8_t> comp(comp_len);
+  ASSERT_EQ(compress2(comp.data(), &comp_len, raw.data(),
+                      static_cast<uLong>(raw.size()), 6),
+            Z_OK);
+  comp.resize(comp_len);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("MPCFCKP1", 1, 8, f);
+  const std::int32_t dims[4] = {g.blocks_x(), g.blocks_y(), g.blocks_z(),
+                                g.block_size()};
+  std::fwrite(dims, 1, sizeof(dims), f);
+  const double time = sim.time();
+  const double extent = g.h() * g.cells_x();
+  const std::int64_t steps = sim.step_count();
+  std::fwrite(&time, 1, 8, f);
+  std::fwrite(&extent, 1, 8, f);
+  std::fwrite(&steps, 1, 8, f);
+  const std::uint64_t sizes[2] = {raw.size(), comp.size()};
+  std::fwrite(sizes, 1, sizeof(sizes), f);
+  std::fwrite(comp.data(), 1, comp.size(), f);
+  std::fclose(f);
+}
+
+TEST(CheckpointV1Compat, LegacyFilesStillLoadBitwise) {
+  Simulation a = make_sim();
+  for (int s = 0; s < 4; ++s) a.step();
+  const std::string path = ::testing::TempDir() + "/mpcf_v1.ckp";
+  write_v1_checkpoint(path, a);
+
+  Simulation b = make_sim();
+  io::load_checkpoint(path, b);
+  EXPECT_DOUBLE_EQ(b.time(), a.time());
+  EXPECT_EQ(b.step_count(), a.step_count());
+  expect_grids_equal(b.grid(), a.grid());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV1Compat, TruncatedLegacyFilesAreRejectedCleanly) {
+  Simulation a = make_sim();
+  const std::string path = ::testing::TempDir() + "/mpcf_v1_trunc.ckp";
+  write_v1_checkpoint(path, a);
+  const auto bytes = io::read_file(path);
+  for (std::size_t cut = 0; cut < 64; cut += 4) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, cut, f);
+    std::fclose(f);
+    Simulation victim = make_sim();
+    EXPECT_THROW(io::load_checkpoint(path, victim), PreconditionError)
+        << "v1 truncated at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+// --- Compressed-quantity corruption matrix -------------------------------
+
+compression::CompressedQuantity make_cq() {
+  Grid g(1, 1, 1, 8, 1e-3);
+  std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.2e-3}};
+  set_cloud_ic(g, one, TwoPhaseIC{});
+  compression::CompressionParams p;
+  p.eps = 1e-3f;
+  p.quantity = Q_G;
+  return compression::compress_quantity(g, p);
+}
+
+class CompressedCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    io::fault::disarm();
+    cq_ = make_cq();
+    ASSERT_FALSE(cq_.streams.empty());
+    path_ = ::testing::TempDir() + "/mpcf_fault.cq";
+    io::write_compressed(path_, cq_);
+    bytes_ = slurp(path_);
+    ASSERT_GT(bytes_.size(), 48u);
+  }
+  void TearDown() override {
+    io::fault::disarm();
+    std::remove(path_.c_str());
+  }
+
+  compression::CompressedQuantity cq_;
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(CompressedCorruption, RoundTripSurvives) {
+  const auto rt = io::read_compressed(path_);
+  ASSERT_EQ(rt.streams.size(), cq_.streams.size());
+  for (std::size_t s = 0; s < rt.streams.size(); ++s) {
+    EXPECT_EQ(rt.streams[s].block_ids, cq_.streams[s].block_ids);
+    EXPECT_EQ(rt.streams[s].raw_bytes, cq_.streams[s].raw_bytes);
+    EXPECT_EQ(rt.streams[s].data, cq_.streams[s].data);
+  }
+}
+
+TEST_F(CompressedCorruption, TruncationAtEveryBoundaryIsRejected) {
+  for (std::size_t cut = 0; cut < bytes_.size(); ++cut) {
+    spit(path_, {bytes_.begin(), bytes_.begin() + cut});
+    EXPECT_THROW((void)io::read_compressed(path_), PreconditionError)
+        << "truncated at byte " << cut;
+  }
+}
+
+TEST_F(CompressedCorruption, SingleBitFlipAnywhereIsRejected) {
+  const std::size_t stride = bytes_.size() > 4096 ? 7 : 1;
+  for (std::size_t byte = 0; byte < bytes_.size(); byte += stride) {
+    auto corrupt = bytes_;
+    corrupt[byte] ^= 1u << (byte % 8);
+    spit(path_, corrupt);
+    EXPECT_THROW((void)io::read_compressed(path_), PreconditionError)
+        << "bit flip at byte " << byte << " read back silently";
+  }
+}
+
+TEST_F(CompressedCorruption, WriteFaultsNeverPublishAPartialFile) {
+  FaultGuard guard;
+  const std::string out = ::testing::TempDir() + "/mpcf_fault_out.cq";
+  std::remove(out.c_str());
+  for (long nth = 0;; ++nth) {
+    io::fault::arm({io::fault::Kind::kEnospc, nth, 0, 0});
+    try {
+      io::write_compressed(out, cq_);
+      EXPECT_FALSE(io::fault::fired());
+      break;
+    } catch (const IoError&) {
+      EXPECT_TRUE(io::fault::fired());
+      EXPECT_FALSE(fs::exists(out)) << "partial file published, nth=" << nth;
+      EXPECT_FALSE(fs::exists(out + ".tmp"));
+    }
+  }
+  io::fault::arm({io::fault::Kind::kTornWrite, 1, 0, 0});
+  EXPECT_THROW((void)io::write_compressed(out, cq_), IoError);
+  std::remove((out + ".tmp").c_str());
+  std::remove(out.c_str());
+}
+
+// --- Compressed-quantity v1 backward compatibility -----------------------
+
+void write_v1_cq(const std::string& path, const compression::CompressedQuantity& cq) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), {'M', 'P', 'C', 'F', 'C', 'Q', '0', '1'});
+  for (std::int32_t v : {cq.bx, cq.by, cq.bz, cq.block_size, cq.levels, cq.quantity})
+    io::put_bytes(out, v);
+  io::put_bytes(out, cq.eps);
+  io::put_bytes(out, static_cast<std::uint8_t>(cq.derived_pressure));
+  io::put_bytes(out, static_cast<std::uint8_t>(cq.coder));
+  out.push_back(0);
+  out.push_back(0);
+  io::put_bytes(out, static_cast<std::uint32_t>(cq.streams.size()));
+  std::uint64_t dir_bytes = 0;
+  for (const auto& s : cq.streams) dir_bytes += 28 + 4ull * s.block_ids.size();
+  std::uint64_t offset = out.size() + dir_bytes;
+  for (const auto& s : cq.streams) {
+    io::put_bytes(out, static_cast<std::uint32_t>(s.block_ids.size()));
+    io::put_bytes(out, s.raw_bytes);
+    io::put_bytes(out, static_cast<std::uint64_t>(s.data.size()));
+    io::put_bytes(out, offset);
+    for (std::uint32_t id : s.block_ids) io::put_bytes(out, id);
+    offset += s.data.size();
+  }
+  for (const auto& s : cq.streams) out.insert(out.end(), s.data.begin(), s.data.end());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+}
+
+TEST(CompressedV1Compat, LegacyFilesStillRead) {
+  const auto cq = make_cq();
+  const std::string path = ::testing::TempDir() + "/mpcf_v1.cq";
+  write_v1_cq(path, cq);
+  const auto rt = io::read_compressed(path);
+  EXPECT_EQ(rt.bx, cq.bx);
+  EXPECT_EQ(rt.levels, cq.levels);
+  ASSERT_EQ(rt.streams.size(), cq.streams.size());
+  for (std::size_t s = 0; s < rt.streams.size(); ++s) {
+    EXPECT_EQ(rt.streams[s].block_ids, cq.streams[s].block_ids);
+    EXPECT_EQ(rt.streams[s].data, cq.streams[s].data);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CompressedV1Compat, Uint64WrapInDirectoryIsRejected) {
+  // Regression: blob_offset + blob_size wrapping uint64 used to pass the
+  // `offset + size <= file_size` check and read out of bounds.
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), {'M', 'P', 'C', 'F', 'C', 'Q', '0', '1'});
+  for (std::int32_t v : {1, 1, 1, 8, 3, 0}) io::put_bytes(out, v);
+  io::put_bytes(out, 1e-3f);
+  out.push_back(0);  // derived_pressure
+  out.push_back(0);  // coder
+  out.push_back(0);
+  out.push_back(0);
+  io::put_bytes(out, std::uint32_t{1});            // one stream
+  io::put_bytes(out, std::uint32_t{0});            // no ids
+  io::put_bytes(out, std::uint64_t{16});           // raw_bytes
+  io::put_bytes(out, ~std::uint64_t{0});           // blob_size: 2^64-1
+  io::put_bytes(out, std::uint64_t{2});            // blob_offset: wraps to 1
+  const std::string path = ::testing::TempDir() + "/mpcf_wrap.cq";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  EXPECT_THROW((void)io::read_compressed(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedV1Compat, ImplausibleRawSizeIsRejectedBeforeAllocation) {
+  // v1 has no CRC, so a rotten raw_bytes field must be caught by the
+  // plausibility bound (zlib cannot exceed ~1032:1) instead of driving a
+  // multi-GB allocation in the decompressor.
+  auto cq = make_cq();
+  const std::string path = ::testing::TempDir() + "/mpcf_huge_raw.cq";
+  cq.streams[0].raw_bytes = 1ull << 50;
+  write_v1_cq(path, cq);
+  EXPECT_THROW((void)io::read_compressed(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+// --- Rotating retention and auto-recovery --------------------------------
+
+TEST(Retention, KeepsLastKAndIgnoresForeignFiles) {
+  const std::string dir = fresh_dir("mpcf_rot_keep");
+  io::CheckpointRotator rot(dir, "ckpt", 3);
+  Simulation sim = make_sim();
+  for (int s = 1; s <= 5; ++s) {
+    sim.step();
+    rot.save(sim);
+  }
+  // A stale SafeFile temp and an unrelated file must not count as
+  // checkpoints.
+  spit(dir + "/ckpt_00000099.ckp.tmp", {1, 2, 3});
+  spit(dir + "/unrelated.bin", {4, 5, 6});
+  const auto files = rot.list();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files.front(), rot.path_for(3));
+  EXPECT_EQ(files.back(), rot.path_for(5));
+  fs::remove_all(dir);
+}
+
+TEST(Retention, RecoversPastCorruptNewestFile) {
+  const std::string dir = fresh_dir("mpcf_rot_recover");
+  io::CheckpointRotator rot(dir, "ckpt", 3);
+  Simulation sim = make_sim();
+  sim.step();
+  sim.step();
+  rot.save(sim);
+  Simulation at2 = make_sim();
+  io::load_checkpoint(rot.path_for(2), at2);  // snapshot of step 2
+  sim.step();
+  sim.step();
+  rot.save(sim);
+  flip_bit(rot.path_for(4), 100, 5);  // newest checkpoint rots on disk
+
+  Simulation recovered = make_sim();
+  std::vector<std::string> skipped;
+  EXPECT_TRUE(rot.load_latest_valid(recovered, &skipped));
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0], rot.path_for(4));
+  EXPECT_EQ(recovered.step_count(), 2);
+  expect_grids_equal(recovered.grid(), at2.grid());
+  fs::remove_all(dir);
+}
+
+TEST(Retention, NoValidCheckpointReturnsFalse) {
+  const std::string dir = fresh_dir("mpcf_rot_empty");
+  io::CheckpointRotator rot(dir, "ckpt", 2);
+  Simulation sim = make_sim();
+  EXPECT_FALSE(rot.load_latest_valid(sim));
+  spit(rot.path_for(1), {9, 9, 9});  // garbage-only directory
+  std::vector<std::string> skipped;
+  EXPECT_FALSE(rot.load_latest_valid(sim, &skipped));
+  EXPECT_EQ(skipped.size(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(Retention, CrashThenRestartResumesBitwiseIdentical) {
+  FaultGuard guard;
+  Simulation straight = make_sim();
+  for (int s = 0; s < 10; ++s) straight.step();
+
+  // The "production" run: checkpoint every 2 steps, die of ENOSPC while
+  // writing the step-10 checkpoint.
+  const std::string dir = fresh_dir("mpcf_rot_crash");
+  io::CheckpointRotator rot(dir, "ckpt", 3);
+  {
+    Simulation run = make_sim();
+    for (int s = 1; s <= 8; ++s) {
+      run.step();
+      if (s % 2 == 0) rot.save(run);
+    }
+    run.step();
+    run.step();
+    io::fault::arm({io::fault::Kind::kEnospc, 2, 0, 0});
+    EXPECT_THROW(rot.save(run), IoError);  // "crash"
+    EXPECT_TRUE(io::fault::fired());
+  }
+
+  // Restart: newest valid checkpoint is step 8; resume to step 10.
+  Simulation resumed = make_sim();
+  std::vector<std::string> skipped;
+  ASSERT_TRUE(rot.load_latest_valid(resumed, &skipped));
+  EXPECT_TRUE(skipped.empty()) << "atomic writer must not leave a corrupt file";
+  EXPECT_EQ(resumed.step_count(), 8);
+  resumed.step();
+  resumed.step();
+
+  EXPECT_DOUBLE_EQ(resumed.time(), straight.time());
+  expect_grids_equal(resumed.grid(), straight.grid());
+  fs::remove_all(dir);
+}
+
+// --- Cluster-layer checkpointing -----------------------------------------
+
+Simulation::Params cluster_params() {
+  Simulation::Params p;
+  p.extent = 1e-3;
+  return p;
+}
+
+void init_cluster(cluster::ClusterSimulation& cs) {
+  Grid global(2, 2, 2, 8, 1e-3);
+  std::vector<Bubble> bubbles{{0.4e-3, 0.5e-3, 0.5e-3, 0.15e-3},
+                              {0.65e-3, 0.55e-3, 0.45e-3, 0.1e-3}};
+  set_cloud_ic(global, bubbles, TwoPhaseIC{});
+  cs.scatter(global);
+}
+
+TEST(ClusterCheckpoint, RoundTripAcrossTopologiesIsBitwise) {
+  cluster::ClusterSimulation a(2, 2, 2, 8, cluster::CartTopology(2, 1, 1),
+                               cluster_params());
+  init_cluster(a);
+  for (int s = 0; s < 3; ++s) a.step();
+  const std::string path = ::testing::TempDir() + "/mpcf_cluster.ckp";
+  EXPECT_GT(a.save_checkpoint(path), 0u);
+
+  // Restore into a *different* topology: the checkpoint is the gathered
+  // global state, so any decomposition of the same global shape works.
+  cluster::ClusterSimulation b(2, 2, 2, 8, cluster::CartTopology(1, 1, 2),
+                               cluster_params());
+  b.load_checkpoint(path);
+  EXPECT_DOUBLE_EQ(b.time(), a.time());
+  Grid ga(2, 2, 2, 8, 1e-3), gb(2, 2, 2, 8, 1e-3);
+  a.gather(ga);
+  b.gather(gb);
+  expect_grids_equal(ga, gb);
+
+  // Resumed trajectories stay bitwise identical.
+  a.step();
+  b.step();
+  a.gather(ga);
+  b.gather(gb);
+  expect_grids_equal(ga, gb);
+  std::remove(path.c_str());
+}
+
+TEST(ClusterCheckpoint, RotatingRecoverySkipsCorruptAndTracesAttempts) {
+  const std::string dir = fresh_dir("mpcf_rot_cluster");
+  io::CheckpointRotator rot(dir, "cluster", 3);
+  cluster::ClusterSimulation cs(2, 2, 2, 8, cluster::CartTopology(2, 1, 1),
+                                cluster_params());
+  init_cluster(cs);
+  cs.step();
+  cs.step();
+  cs.save_checkpoint_rotating(rot);
+  Grid at2(2, 2, 2, 8, 1e-3);
+  cs.gather(at2);
+  cs.step();
+  cs.step();
+  cs.save_checkpoint_rotating(rot);
+  flip_bit(rot.path_for(4), 90, 1);
+
+  cluster::ClusterSimulation fresh(2, 2, 2, 8, cluster::CartTopology(2, 1, 1),
+                                   cluster_params());
+  fresh.tracer().enable(true);
+  std::vector<std::string> skipped;
+  const std::string recovered = fresh.load_latest_valid_checkpoint(rot, &skipped);
+  EXPECT_EQ(recovered, rot.path_for(2));
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0], rot.path_for(4));
+  Grid g(2, 2, 2, 8, 1e-3);
+  fresh.gather(g);
+  expect_grids_equal(g, at2);
+  // One kCheckpoint span per attempt: the skipped corrupt file + the
+  // successful restore.
+  int spans = 0;
+  for (const auto& e : fresh.tracer().events())
+    if (e.phase == perf::TracePhase::kCheckpoint) ++spans;
+  EXPECT_EQ(spans, 2);
+  fs::remove_all(dir);
+}
+
+// --- Async dumper on the atomic write path -------------------------------
+
+TEST(AsyncDumperFault, BackgroundWriteFailureSurfacesInWaitNotDtor) {
+  FaultGuard guard;
+  Grid g(1, 1, 1, 8, 1e-3);
+  std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.2e-3}};
+  set_cloud_ic(g, one, TwoPhaseIC{});
+  compression::CompressionParams p;
+  p.eps = 1e-3f;
+  p.quantity = Q_G;
+  const std::string path = ::testing::TempDir() + "/mpcf_async_fault.cq";
+  std::remove(path.c_str());
+  {
+    compression::AsyncDumper dumper;
+    io::fault::arm({io::fault::Kind::kEnospc, 0, 0, 0});
+    dumper.dump(g, p, path);
+    EXPECT_THROW(dumper.wait(), IoError);
+    EXPECT_FALSE(fs::exists(path)) << "failed dump published a file";
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+  }
+  {
+    // Uncollected failure: the destructor must swallow it, not terminate.
+    compression::AsyncDumper dumper;
+    io::fault::arm({io::fault::Kind::kEnospc, 0, 0, 0});
+    dumper.dump(g, p, path);
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+}  // namespace
+}  // namespace mpcf
