@@ -245,6 +245,9 @@ void ClusterSimulation::advance_stage_overlapped(double a_coeff) {
   std::vector<char> packed(nranks, 0);
   char* const pk = packed.data();
   (void)pk;  // referenced only inside `depend` clauses; silence -Wunused
+  // The task region drives evaluate_rhs_block directly, bypassing
+  // evaluate_rhs and its lazy workspace growth — grow here, serially.
+  for (int r = 0; r < nranks; ++r) sims_[r]->ensure_thread_workspaces();
   Timer region;
 #pragma omp parallel
 #pragma omp single

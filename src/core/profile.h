@@ -12,6 +12,7 @@ namespace mpcf {
 /// Accumulated wall-clock seconds per simulation stage.
 struct StepProfile {
   double rhs = 0;   ///< RHS evaluation (incl. ghost reconstruction)
+  double lab = 0;   ///< ghost-lab assembly (subset of rhs; thread-seconds)
   double dt = 0;    ///< SOS reduction
   double up = 0;    ///< RK update
   double io = 0;    ///< compressed data dumps (FWT + encode + write)

@@ -15,12 +15,20 @@ Simulation::Simulation(int bx, int by, int bz, int bs)
 
 Simulation::Simulation(int bx, int by, int bz, int bs, Params params)
     : grid_(bx, by, bz, bs, params.extent), params_(params) {
+  ensure_thread_workspaces();
+}
+
+void Simulation::ensure_thread_workspaces() {
+  // Sized lazily (not once at construction) so a thread count raised via
+  // omp_set_num_threads() after construction still gets dedicated buffers.
   const int nthreads = omp_get_max_threads();
+  const int have = static_cast<int>(labs_.size());
+  if (nthreads <= have) return;
   labs_.resize(nthreads);
   ws_.resize(nthreads);
-  for (int t = 0; t < nthreads; ++t) {
-    labs_[t].resize(bs);
-    ws_[t].resize(bs);
+  for (int t = have; t < nthreads; ++t) {
+    labs_[t].resize(grid_.block_size());
+    ws_[t].resize(grid_.block_size());
   }
 }
 
@@ -31,8 +39,8 @@ double Simulation::compute_dt() {
 #pragma omp parallel for schedule(static) reduction(max : vmax)
   for (int i = 0; i < grid_.block_count(); ++i) {
     const Block& b = grid_.block(i);
-    const double v =
-        simd ? kernels::block_max_speed_simd(b) : kernels::block_max_speed(b);
+    const double v = simd ? kernels::block_max_speed_simd(b, params_.width)
+                          : kernels::block_max_speed(b);
     vmax = std::max(vmax, v);
   }
   profile_.dt += timer.seconds();
@@ -45,6 +53,7 @@ void Simulation::evaluate_rhs(double a_coeff, const std::vector<int>* block_subs
   const int count =
       block_subset == nullptr ? grid_.block_count() : static_cast<int>(block_subset->size());
   if (count == 0) return;
+  ensure_thread_workspaces();
 
   // Dynamic scheduling with a parallel granularity of one block (Section 6,
   // "Enhancing TLP"); each thread reuses its dedicated lab + workspace.
@@ -58,16 +67,6 @@ void Simulation::evaluate_rhs(double a_coeff, const std::vector<int>* block_subs
 }
 
 void Simulation::rhs_one_block(double a_coeff, int block_id) {
-  // Ghost fetch: intra-rank ghosts come from neighbouring blocks (folded
-  // through the BCs); the cluster layer can intercept out-of-rank cells.
-  const auto fetch = [this](int ix, int iy, int iz) -> Cell {
-    if (ghost_override_) {
-      Cell c;
-      if (ghost_override_(ix, iy, iz, c)) return c;
-    }
-    return grid_.cell_folded(ix, iy, iz, params_.bc);
-  };
-
   const int tid = omp_get_thread_num();
   require(tid < static_cast<int>(labs_.size()),
           "Simulation: more threads than per-thread labs");
@@ -75,9 +74,17 @@ void Simulation::rhs_one_block(double a_coeff, int block_id) {
   kernels::RhsWorkspace& ws = ws_[tid];
   int bx, by, bz;
   grid_.indexer().coords(block_id, bx, by, bz);
-  lab.load(grid_, bx, by, bz, fetch);
+  // Bulk assembly: intra-rank ghosts fold through the BCs region-by-region;
+  // the cluster layer's override intercepts only out-of-domain coordinates.
+  Timer lab_timer;
+  lab.load(grid_, bx, by, bz, params_.bc,
+           ghost_override_ ? &ghost_override_ : nullptr);
+  const double lab_s = lab_timer.seconds();
+#pragma omp atomic
+  profile_.lab += lab_s;
   kernels::rhs_block(lab, static_cast<Real>(grid_.h()), static_cast<Real>(a_coeff),
-                     grid_.block(block_id), ws, params_.impl, params_.weno_order);
+                     grid_.block(block_id), ws, params_.impl, params_.weno_order,
+                     params_.width);
 }
 
 double Simulation::evaluate_rhs_block(double a_coeff, int block_id) {
@@ -92,7 +99,7 @@ void Simulation::update(double b_dt) {
 #pragma omp parallel for schedule(static)
   for (int i = 0; i < grid_.block_count(); ++i) {
     if (simd)
-      kernels::update_block_simd(grid_.block(i), static_cast<Real>(b_dt));
+      kernels::update_block_simd(grid_.block(i), static_cast<Real>(b_dt), params_.width);
     else
       kernels::update_block(grid_.block(i), static_cast<Real>(b_dt));
   }

@@ -33,6 +33,9 @@ class Simulation {
     double extent = 1.0;  ///< domain x-extent [m]
     BoundaryConditions bc = BoundaryConditions::all(BCType::kAbsorbing);
     kernels::KernelImpl impl = kernels::KernelImpl::kSimdFused;
+    /// Vector width of the kSimd*/kSimdFused kernels: kAuto picks the widest
+    /// backend the build + host support (env MPCF_SIMD_WIDTH overrides).
+    simd::Width width = simd::Width::kAuto;
     int weno_order = 5;  ///< 5 = production WENO5; 3 = low-order ablation
     /// Positivity guard applied after each step: floors for density and
     /// pressure keep marginally-resolved collapses (few cells per radius)
@@ -83,9 +86,18 @@ class Simulation {
   /// workspace. Meant for the cluster layer's overlapped schedule, where
   /// blocks of many ranks run as OpenMP tasks inside one parallel region;
   /// must be called from at most omp_get_max_threads() distinct threads and
-  /// not accounted in profile() (the caller owns the timing). Returns the
+  /// not accounted in profile() (the caller owns the timing). Callers that
+  /// bypass evaluate_rhs must call ensure_thread_workspaces() from serial
+  /// context first if the thread count may have grown. Returns the
   /// wall-clock seconds spent on the block.
   double evaluate_rhs_block(double a_coeff, int block_id);
+
+  /// Grows the per-thread lab/workspace arrays to omp_get_max_threads().
+  /// Called automatically at every evaluate_rhs entry (serial context), so
+  /// raising the OpenMP thread count after construction is safe; exposed for
+  /// callers that drive evaluate_rhs_block directly from their own parallel
+  /// regions. Must not be called concurrently with block evaluations.
+  void ensure_thread_workspaces();
   void update(double b_dt);
   void apply_positivity_guard();
 

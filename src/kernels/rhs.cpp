@@ -188,13 +188,16 @@ void sweep(RhsWorkspace& ws, int dir, bool staged) {
       return;
     }
     // y or z sweep: the outer "slice" coordinate is the remaining dimension;
-    // dir==1: slices are z-planes; dir==2: slices are y-planes.
+    // dir==1: slices are z-planes; dir==2: slices are y-planes. The scalar
+    // tail covers block sizes that are not a multiple of the vector width.
     for (int k = 0; k < bs; ++k) {
       const std::ptrdiff_t slicebase =
           (dir == 1) ? ws.offset(0, 0, k) : ws.offset(0, k, 0);
       for (int f = 0; f <= bs; ++f) {
         const std::ptrdiff_t facebase = slicebase + f * s;
-        for (int ix = 0; ix < bs; ix += L) faces_fused<T, ORDER>(ws, dm, facebase + ix, s);
+        int ix = 0;
+        for (; ix + L <= bs; ix += L) faces_fused<T, ORDER>(ws, dm, facebase + ix, s);
+        for (; ix < bs; ++ix) faces_fused<float, ORDER>(ws, dm, facebase + ix, s);
       }
     }
     return;
@@ -231,14 +234,37 @@ void sweep(RhsWorkspace& ws, int dir, bool staged) {
       for (int f = 0; f <= bs; ++f) {
         const std::ptrdiff_t facebase = slicebase + f * s;
         const int bidx0 = bs * (f + (bs + 1) * k);
-        for (int ix = 0; ix < bs; ix += L) {
+        int ix = 0;
+        for (; ix + L <= bs; ix += L) {
           if (pass == 0)
             faces_staged_weno<T>(ws, dm, facebase + ix, s, bidx0 + ix);
           else
             faces_staged_hlle<T>(ws, dm, facebase + ix, s, bidx0 + ix);
         }
+        for (; ix < bs; ++ix) {
+          if (pass == 0)
+            faces_staged_weno<float>(ws, dm, facebase + ix, s, bidx0 + ix);
+          else
+            faces_staged_hlle<float>(ws, dm, facebase + ix, s, bidx0 + ix);
+        }
       }
     }
+  }
+}
+
+/// Instantiates the three directional sweeps at pipeline shape x width.
+template <int ORDER>
+void sweep_all(RhsWorkspace& ws, bool staged, simd::Width w) {
+  switch (w) {
+    case simd::Width::kScalar:
+      for (int dir = 0; dir < 3; ++dir) sweep<float, ORDER>(ws, dir, staged);
+      return;
+    case simd::Width::kW8:
+      for (int dir = 0; dir < 3; ++dir) sweep<simd::vec8, ORDER>(ws, dir, staged);
+      return;
+    default:
+      for (int dir = 0; dir < 3; ++dir) sweep<simd::vec4, ORDER>(ws, dir, staged);
+      return;
   }
 }
 
@@ -272,9 +298,10 @@ void RhsWorkspace::resize(int bs, int ghosts) {
   for (auto& f : acc_) f.reset(n_, n_, n_);
   ustar_.reset(n_, n_, n_);
   // Face buffers of the staged (non-fused) variant cover a whole directional
-  // sweep: (bs+1) faces x bs^2 rows per quantity-side.
+  // sweep: (bs+1) faces x bs^2 rows per quantity-side; padded for the widest
+  // vector store.
   const std::size_t rowlen =
-      static_cast<std::size_t>(bs + 1) * bs * bs + simd::kLanes;
+      static_cast<std::size_t>(bs + 1) * bs * bs + simd::kMaxLanes;
   for (auto& r : rows_) r.reset(rowlen);
 }
 
@@ -284,36 +311,40 @@ void RhsWorkspace::zero_accumulators() {
   std::memset(ustar_.data(), 0, total * sizeof(Real));
 }
 
-void convert_to_primitive(const BlockLab& lab, RhsWorkspace& ws, KernelImpl impl) {
+void convert_to_primitive(const BlockLab& lab, RhsWorkspace& ws, KernelImpl impl,
+                          simd::Width width) {
   require(lab.block_size() == ws.block_size() && lab.ghosts() == ws.ghosts(),
           "convert_to_primitive: lab/workspace shape mismatch");
-  if (impl == KernelImpl::kScalar)
-    conv_impl<float>(lab, ws);
-  else
-    conv_impl<simd::vec4>(lab, ws);
+  const simd::Width w =
+      impl == KernelImpl::kScalar ? simd::Width::kScalar : simd::resolve_width(width);
+  switch (w) {
+    case simd::Width::kScalar:
+      conv_impl<float>(lab, ws);
+      break;
+    case simd::Width::kW8:
+      conv_impl<simd::vec8>(lab, ws);
+      break;
+    default:
+      conv_impl<simd::vec4>(lab, ws);
+      break;
+  }
 }
 
 void rhs_block(const BlockLab& lab, Real h, Real a, Block& block, RhsWorkspace& ws,
-               KernelImpl impl, int weno_order) {
+               KernelImpl impl, int weno_order, simd::Width width) {
   require(block.size() == ws.block_size(), "rhs_block: block/workspace shape mismatch");
   require(weno_order == 3 || weno_order == 5, "rhs_block: WENO order must be 3 or 5");
-  convert_to_primitive(lab, ws, impl);
+  const simd::Width w =
+      impl == KernelImpl::kScalar ? simd::Width::kScalar : simd::resolve_width(width);
+  convert_to_primitive(lab, ws, impl, w);
   ws.zero_accumulators();
   const bool staged = impl == KernelImpl::kSimd;
-  for (int dir = 0; dir < 3; ++dir) {
-    if (weno_order == 5) {
-      if (impl == KernelImpl::kScalar)
-        sweep<float, 5>(ws, dir, /*staged=*/false);
-      else
-        sweep<simd::vec4, 5>(ws, dir, staged);
-    } else {
-      // The ablation order: always fused (staging buffers are sized for the
-      // production pipeline; the comparison of interest is accuracy/cost).
-      if (impl == KernelImpl::kScalar)
-        sweep<float, 3>(ws, dir, /*staged=*/false);
-      else
-        sweep<simd::vec4, 3>(ws, dir, /*staged=*/false);
-    }
+  if (weno_order == 5) {
+    sweep_all<5>(ws, staged, w);
+  } else {
+    // The ablation order: always fused (staging buffers are sized for the
+    // production pipeline; the comparison of interest is accuracy/cost).
+    sweep_all<3>(ws, /*staged=*/false, w);
   }
   back(ws, h, a, block);
 }

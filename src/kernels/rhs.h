@@ -9,17 +9,22 @@
 //   SUM   flux-difference accumulation (+ the Gamma/Pi divergence fix),
 //   BACK  write-back into the block AoS tmp area.
 //
-// Three implementations share one expression tree:
+// Three pipeline shapes share one expression tree:
 //   kScalar    float instantiation (the paper's "C++" column, Table 7),
-//   kSimd      vec4, staged: WENO faces stored to row buffers, HLLE second
+//   kSimd      staged: WENO faces stored to row buffers, HLLE second
 //              pass (the "baseline" of Table 9),
-//   kSimdFused vec4, micro-fused: WENO+HLLE+SUM per face in registers
+//   kSimdFused micro-fused: WENO+HLLE+SUM per face in registers
 //              (the "fused" column of Table 9).
+// The vector shapes (kSimd/kSimdFused) additionally instantiate at a
+// vector width — vec4 (SSE, the paper's QPX conversion) or vec8
+// (AVX2+FMA, the Section 8.1 retarget) — selected at runtime by
+// simd::dispatch_width() unless pinned.
 #pragma once
 
 #include "common/field3d.h"
 #include "grid/block.h"
 #include "grid/lab.h"
+#include "simd/dispatch.h"
 
 namespace mpcf::kernels {
 
@@ -63,13 +68,19 @@ class RhsWorkspace {
 };
 
 /// CONV stage alone (exposed for tests and the stage-weight benchmarks).
-void convert_to_primitive(const BlockLab& lab, RhsWorkspace& ws, KernelImpl impl);
+/// `width` pins the vector width of the kSimd*/kSimdFused shapes (kAuto =
+/// runtime dispatch); kScalar ignores it.
+void convert_to_primitive(const BlockLab& lab, RhsWorkspace& ws, KernelImpl impl,
+                          simd::Width width = simd::Width::kAuto);
 
 /// Full RHS evaluation of one block: block.tmp <- a * block.tmp + RHS.
 /// `h` is the cell spacing; `lab` must hold the block plus WENO ghosts.
 /// `weno_order` selects the reconstruction (5 = production, 3 = ablation).
+/// `width` pins the vector width (kAuto = runtime dispatch; ignored by
+/// kScalar).
 void rhs_block(const BlockLab& lab, Real h, Real a, Block& block, RhsWorkspace& ws,
-               KernelImpl impl = KernelImpl::kSimdFused, int weno_order = 5);
+               KernelImpl impl = KernelImpl::kSimdFused, int weno_order = 5,
+               simd::Width width = simd::Width::kAuto);
 
 /// Analytic FLOP count of one rhs_block call (for GFLOP/s reporting).
 [[nodiscard]] double rhs_flops(int bs);

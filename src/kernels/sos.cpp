@@ -4,7 +4,6 @@
 
 #include "simd/memory_ops.h"
 #include "simd/scalar_ops.h"
-#include "simd/vec4.h"
 
 namespace mpcf::kernels {
 
@@ -23,23 +22,24 @@ double max_speed_impl(const Block& block) {
   const float* base = &block.data()->rho;
   constexpr std::size_t S = kNumQuantities;  // AoS stride in floats
 
-  T vmax = T(0.0f);
+  double result = 0.0;
   std::size_t i = 0;
-  // AoS gather: quantities of 4 consecutive cells are strided loads. The QPX
+  // AoS gather: quantities of L consecutive cells are strided loads. The QPX
   // kernel performed the same AoS->SoA shuffling (paper Section 6, DLP).
-  if constexpr (L == 4) {
-    alignas(16) float lane[7][4];
-    for (; i + 4 <= total; i += 4) {
+  if constexpr (L > 1) {
+    T vmax = T(0.0f);
+    alignas(32) float lane[7][L];
+    for (; i + L <= total; i += L) {
       const float* c = base + i * S;
-      for (int l = 0; l < 4; ++l)
+      for (int l = 0; l < L; ++l)
         for (int q = 0; q < 7; ++q) lane[q][l] = c[l * S + q];
-      const T r = T(lane[0][0], lane[0][1], lane[0][2], lane[0][3]);
-      const T ru = T(lane[1][0], lane[1][1], lane[1][2], lane[1][3]);
-      const T rv = T(lane[2][0], lane[2][1], lane[2][2], lane[2][3]);
-      const T rw = T(lane[3][0], lane[3][1], lane[3][2], lane[3][3]);
-      const T E = T(lane[4][0], lane[4][1], lane[4][2], lane[4][3]);
-      const T G = T(lane[5][0], lane[5][1], lane[5][2], lane[5][3]);
-      const T P = T(lane[6][0], lane[6][1], lane[6][2], lane[6][3]);
+      const T r = load_elems<T>(lane[0]);
+      const T ru = load_elems<T>(lane[1]);
+      const T rv = load_elems<T>(lane[2]);
+      const T rw = load_elems<T>(lane[3]);
+      const T E = load_elems<T>(lane[4]);
+      const T G = load_elems<T>(lane[5]);
+      const T P = load_elems<T>(lane[6]);
       const T invr = T(1.0f) / r;
       const T ke = T(0.5f) * (ru * ru + rv * rv + rw * rw) * invr;
       const T p = (E - ke - P) / G;
@@ -47,10 +47,8 @@ double max_speed_impl(const Block& block) {
       const T umax = max(abs(ru), max(abs(rv), abs(rw))) * invr;
       vmax = max(vmax, umax + sqrt(c2));
     }
+    result = static_cast<double>(simd::hmax(vmax));
   }
-  double result = 0.0;
-  if constexpr (L == 4) result = static_cast<double>(simd::hmax(vmax));
-  (void)vmax;
   for (; i < total; ++i) {
     const Cell& c = block.data()[i];
     const double invr = 1.0 / c.rho;
@@ -68,7 +66,16 @@ double max_speed_impl(const Block& block) {
 
 double block_max_speed(const Block& block) { return max_speed_impl<float>(block); }
 
-double block_max_speed_simd(const Block& block) { return max_speed_impl<simd::vec4>(block); }
+double block_max_speed_simd(const Block& block, simd::Width width) {
+  switch (simd::resolve_width(width)) {
+    case simd::Width::kScalar:
+      return max_speed_impl<float>(block);
+    case simd::Width::kW8:
+      return max_speed_impl<simd::vec8>(block);
+    default:
+      return max_speed_impl<simd::vec4>(block);
+  }
+}
 
 double sos_flops(int bs) {
   // Counted from the expression tree above: ~19 arithmetic ops per cell.

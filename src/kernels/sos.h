@@ -4,14 +4,17 @@
 #pragma once
 
 #include "grid/block.h"
+#include "simd/dispatch.h"
 
 namespace mpcf::kernels {
 
 /// Scalar reference implementation.
 [[nodiscard]] double block_max_speed(const Block& block);
 
-/// 4-wide SIMD implementation (QPX analogue).
-[[nodiscard]] double block_max_speed_simd(const Block& block);
+/// Vectorized implementation (QPX analogue); `width` pins the backend
+/// (kAuto = runtime dispatch).
+[[nodiscard]] double block_max_speed_simd(const Block& block,
+                                          simd::Width width = simd::Width::kAuto);
 
 /// Analytic FLOP count of one block reduction (for GFLOP/s reporting).
 [[nodiscard]] double sos_flops(int bs);

@@ -1,25 +1,45 @@
 #include "kernels/update.h"
 
-#include "simd/vec4.h"
+#include "simd/memory_ops.h"
 
 namespace mpcf::kernels {
 
-void update_block(Block& block, Real bdt) {
+namespace {
+
+/// Streaming axpy over the block storage, one vector (or scalar) per step.
+template <typename T>
+void update_impl(Block& block, Real bdt) {
+  constexpr int L = simd::Lanes<T>::value;
   const std::size_t total = block.cells() * kNumQuantities;
   float* data = &block.data()->rho;
   const float* tmp = &block.tmp_data()->rho;
-  for (std::size_t i = 0; i < total; ++i) data[i] += bdt * tmp[i];
+  std::size_t i = 0;
+  if constexpr (L > 1) {
+    const T b(bdt);
+    for (; i + L <= total; i += L)
+      simd::store_elems(data + i,
+                        simd::fmadd(b, simd::load_elems<T>(tmp + i),
+                                    simd::load_elems<T>(data + i)));
+  }
+  for (; i < total; ++i) data[i] += bdt * tmp[i];
 }
 
-void update_block_simd(Block& block, Real bdt) {
-  const std::size_t total = block.cells() * kNumQuantities;
-  float* data = &block.data()->rho;
-  const float* tmp = &block.tmp_data()->rho;
-  const simd::vec4 b(bdt);
-  std::size_t i = 0;
-  for (; i + 4 <= total; i += 4)
-    simd::fmadd(b, simd::vec4::loadu(tmp + i), simd::vec4::loadu(data + i)).storeu(data + i);
-  for (; i < total; ++i) data[i] += bdt * tmp[i];
+}  // namespace
+
+void update_block(Block& block, Real bdt) { update_impl<float>(block, bdt); }
+
+void update_block_simd(Block& block, Real bdt, simd::Width width) {
+  switch (simd::resolve_width(width)) {
+    case simd::Width::kScalar:
+      update_impl<float>(block, bdt);
+      return;
+    case simd::Width::kW8:
+      update_impl<simd::vec8>(block, bdt);
+      return;
+    default:
+      update_impl<simd::vec4>(block, bdt);
+      return;
+  }
 }
 
 double update_flops(int bs) {

@@ -5,14 +5,15 @@
 #pragma once
 
 #include "grid/block.h"
+#include "simd/dispatch.h"
 
 namespace mpcf::kernels {
 
 /// Scalar reference: data += bdt * tmp, all quantities, all cells.
 void update_block(Block& block, Real bdt);
 
-/// 4-wide SIMD implementation.
-void update_block_simd(Block& block, Real bdt);
+/// Vectorized implementation; `width` pins the backend (kAuto = dispatch).
+void update_block_simd(Block& block, Real bdt, simd::Width width = simd::Width::kAuto);
 
 /// Analytic FLOP count of one block update.
 [[nodiscard]] double update_flops(int bs);

@@ -1,0 +1,110 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "simd/vec4.h"
+#include "simd/vec8.h"
+
+namespace mpcf::simd {
+
+namespace {
+
+/// cpuid probe, evaluated once. On x86 the compiler builtin asks the CPU;
+/// elsewhere the genuine vector backends are not compiled, so the question
+/// never matters (the scalar fallbacks execute everywhere).
+struct HostCaps {
+  bool avx2_fma = false;
+  HostCaps() {
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+    avx2_fma = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#endif
+  }
+};
+
+const HostCaps& host_caps() {
+  static const HostCaps caps;
+  return caps;
+}
+
+}  // namespace
+
+int lanes(Width w) noexcept { return static_cast<int>(w); }
+
+const char* width_name(Width w) noexcept {
+  switch (w) {
+    case Width::kAuto:
+      return "auto";
+    case Width::kScalar:
+      return "scalar";
+    case Width::kW4:
+      return MPCF_SIMD_SSE ? "vec4/sse" : "vec4/portable";
+    case Width::kW8:
+      return MPCF_SIMD_AVX2 ? "vec8/avx2" : "vec8/portable";
+  }
+  return "?";
+}
+
+bool width_compiled(Width w) noexcept {
+  switch (w) {
+    case Width::kScalar:
+      return true;
+    case Width::kW4:
+      return MPCF_SIMD_SSE != 0;
+    case Width::kW8:
+      return MPCF_SIMD_AVX2 != 0;
+    default:
+      return false;
+  }
+}
+
+bool host_executes(Width w) noexcept {
+  switch (w) {
+    case Width::kScalar:
+      return true;
+    case Width::kW4:
+      // The SSE backend requires SSE2, part of the x86-64 baseline; the
+      // portable fallback runs anywhere.
+      return true;
+    case Width::kW8:
+      return MPCF_SIMD_AVX2 ? host_caps().avx2_fma : true;
+    default:
+      return false;
+  }
+}
+
+Width dispatch_width() {
+  const char* env = std::getenv("MPCF_SIMD_WIDTH");
+  if (env != nullptr && env[0] != '\0') {
+    Width w;
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "scalar") == 0)
+      w = Width::kScalar;
+    else if (std::strcmp(env, "4") == 0)
+      w = Width::kW4;
+    else if (std::strcmp(env, "8") == 0)
+      w = Width::kW8;
+    else
+      throw PreconditionError(std::string("MPCF_SIMD_WIDTH: bad value '") + env +
+                              "' (expected 1|scalar|4|8)");
+    // The env knob pins a *backend*, so it must exist in this build and run
+    // on this host — no silent downgrades (the CI width matrix relies on
+    // this failing loudly).
+    require(width_compiled(w), "MPCF_SIMD_WIDTH: backend not compiled into this binary");
+    require(host_executes(w), "MPCF_SIMD_WIDTH: host CPU cannot execute this backend");
+    return w;
+  }
+  if (width_compiled(Width::kW8) && host_executes(Width::kW8)) return Width::kW8;
+  return Width::kW4;
+}
+
+Width resolve_width(Width requested) {
+  if (requested == Width::kAuto) return dispatch_width();
+  // API-pinned widths (tests, benches) may use the portable fallbacks for
+  // differential runs, but must never emit instructions the host lacks.
+  require(host_executes(requested), "resolve_width: host CPU cannot execute this backend");
+  return requested;
+}
+
+}  // namespace mpcf::simd

@@ -1,0 +1,42 @@
+// Runtime SIMD width dispatch (paper Section 8.1: the kernel substrate is
+// ISA-retargetable; the production binary picks the widest backend the host
+// executes, benches and the CI pin a width explicitly).
+//
+// Resolution order for Width::kAuto:
+//   1. MPCF_SIMD_WIDTH environment override ("1"/"scalar", "4", "8") —
+//      a width the build lacks or the host cannot execute is a hard error,
+//      never a silent downgrade (the CI depends on that failure).
+//   2. Widest backend that is both compiled in (the vec8 AVX2 backend needs
+//      -mavx2 -mfma) and executable on this CPU (cpuid).
+#pragma once
+
+namespace mpcf::simd {
+
+/// Vector width of the kernel instantiation. Values equal the lane count.
+enum class Width { kAuto = 0, kScalar = 1, kW4 = 4, kW8 = 8 };
+
+/// Lane count of a concrete width (kAuto is not concrete).
+[[nodiscard]] int lanes(Width w) noexcept;
+
+/// Human-readable backend name for a concrete width ("scalar", "vec4/sse",
+/// "vec8/avx2", ... — reflects what the width runs as in this build).
+[[nodiscard]] const char* width_name(Width w) noexcept;
+
+/// True when this binary contains a genuine vector backend for `w`
+/// (kScalar is always available; kW4 needs SSE2, kW8 needs AVX2+FMA
+/// at compile time).
+[[nodiscard]] bool width_compiled(Width w) noexcept;
+
+/// True when the host CPU can execute the instructions backend `w` was
+/// compiled to (cpuid-style check; the scalar fallbacks always execute).
+[[nodiscard]] bool host_executes(Width w) noexcept;
+
+/// Concrete width for kAuto: env override if set (hard error when
+/// impossible), otherwise the widest compiled + executable backend.
+[[nodiscard]] Width dispatch_width();
+
+/// Resolves a requested width: kAuto goes through dispatch_width(); a
+/// pinned width is validated (hard error when the host can't execute it).
+[[nodiscard]] Width resolve_width(Width requested);
+
+}  // namespace mpcf::simd

@@ -1,0 +1,108 @@
+// Runtime SIMD dispatch invariants. The CI width matrix relies on two
+// properties verified here: (a) the automatically selected backend is always
+// executable on the running host, and (b) an MPCF_SIMD_WIDTH pin that names
+// a backend this build/host cannot run fails loudly instead of silently
+// downgrading.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "simd/dispatch.h"
+
+namespace mpcf::simd {
+namespace {
+
+/// Sets MPCF_SIMD_WIDTH for one test and restores the prior value on exit.
+class ScopedWidthEnv {
+ public:
+  explicit ScopedWidthEnv(const char* value) {
+    const char* prev = std::getenv("MPCF_SIMD_WIDTH");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr)
+      setenv("MPCF_SIMD_WIDTH", value, 1);
+    else
+      unsetenv("MPCF_SIMD_WIDTH");
+  }
+  ~ScopedWidthEnv() {
+    if (had_prev_)
+      setenv("MPCF_SIMD_WIDTH", prev_.c_str(), 1);
+    else
+      unsetenv("MPCF_SIMD_WIDTH");
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(Dispatch, LanesMapping) {
+  EXPECT_EQ(lanes(Width::kScalar), 1);
+  EXPECT_EQ(lanes(Width::kW4), 4);
+  EXPECT_EQ(lanes(Width::kW8), 8);
+}
+
+TEST(Dispatch, ScalarAndFourWideAlwaysAvailable) {
+  EXPECT_TRUE(width_compiled(Width::kScalar));
+  EXPECT_TRUE(width_compiled(Width::kW4));
+  EXPECT_TRUE(host_executes(Width::kScalar));
+  EXPECT_TRUE(host_executes(Width::kW4));
+}
+
+// The CI guard: whatever the dispatcher picks must run on this machine.
+TEST(Dispatch, SelectedWidthIsCompiledAndExecutable) {
+  ScopedWidthEnv env(nullptr);  // auto-selection, no pin
+  const Width w = dispatch_width();
+  EXPECT_TRUE(w == Width::kW4 || w == Width::kW8) << width_name(w);
+  EXPECT_TRUE(width_compiled(w));
+  EXPECT_TRUE(host_executes(w));
+  EXPECT_EQ(resolve_width(Width::kAuto), w);
+}
+
+TEST(Dispatch, AutoPrefersWidestUsableBackend) {
+  ScopedWidthEnv env(nullptr);
+  if (width_compiled(Width::kW8) && host_executes(Width::kW8))
+    EXPECT_EQ(dispatch_width(), Width::kW8);
+  else
+    EXPECT_EQ(dispatch_width(), Width::kW4);
+}
+
+TEST(Dispatch, EnvOverridePinsWidth) {
+  {
+    ScopedWidthEnv env("4");
+    EXPECT_EQ(dispatch_width(), Width::kW4);
+  }
+  {
+    ScopedWidthEnv env("1");
+    EXPECT_EQ(dispatch_width(), Width::kScalar);
+  }
+  {
+    ScopedWidthEnv env("scalar");
+    EXPECT_EQ(dispatch_width(), Width::kScalar);
+  }
+  {
+    ScopedWidthEnv env("8");
+    if (width_compiled(Width::kW8) && host_executes(Width::kW8))
+      EXPECT_EQ(dispatch_width(), Width::kW8);
+    else
+      EXPECT_THROW((void)dispatch_width(), PreconditionError);
+  }
+}
+
+TEST(Dispatch, EnvBadValueFailsLoudly) {
+  ScopedWidthEnv env("16");
+  EXPECT_THROW((void)dispatch_width(), PreconditionError);
+}
+
+TEST(Dispatch, ResolvePassesThroughPinnedWidths) {
+  EXPECT_EQ(resolve_width(Width::kScalar), Width::kScalar);
+  EXPECT_EQ(resolve_width(Width::kW4), Width::kW4);
+  if (host_executes(Width::kW8)) {
+    EXPECT_EQ(resolve_width(Width::kW8), Width::kW8);
+  }
+}
+
+}  // namespace
+}  // namespace mpcf::simd

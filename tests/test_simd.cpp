@@ -1,4 +1,5 @@
-// Unit tests for the vec4 QPX-analogue operation surface.
+// Unit tests for the vec4 QPX-analogue operation surface and its 8-wide
+// AVX2 retarget vec8.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -6,6 +7,7 @@
 #include "simd/memory_ops.h"
 #include "simd/scalar_ops.h"
 #include "simd/vec4.h"
+#include "simd/vec8.h"
 
 namespace mpcf::simd {
 namespace {
@@ -104,6 +106,84 @@ TEST(MemoryOps, LoadAddSubStore) {
   EXPECT_FLOAT_EQ(x, 4.0f);
   EXPECT_EQ(Lanes<float>::value, 1);
   EXPECT_EQ(Lanes<vec4>::value, 4);
+}
+
+void expect_lanes8(vec8 v, std::initializer_list<float> ref) {
+  int i = 0;
+  for (float r : ref) {
+    EXPECT_FLOAT_EQ(v[i], r) << "lane " << i;
+    ++i;
+  }
+}
+
+TEST(Vec8, ConstructAndExtract) {
+  expect_lanes8(vec8(1, 2, 3, 4, 5, 6, 7, 8), {1, 2, 3, 4, 5, 6, 7, 8});
+  expect_lanes8(vec8(7.5f), {7.5f, 7.5f, 7.5f, 7.5f, 7.5f, 7.5f, 7.5f, 7.5f});
+  expect_lanes8(vec8::zero(), {0, 0, 0, 0, 0, 0, 0, 0});
+}
+
+TEST(Vec8, LoadStoreRoundTrip) {
+  alignas(32) float in[8] = {1, -2, 3, -4, 5, -6, 7, -8};
+  alignas(32) float out[8];
+  vec8::load(in).store(out);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+  float uout[8];
+  vec8::loadu(in).storeu(uout);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(uout[i], in[i]);
+}
+
+TEST(Vec8, Arithmetic) {
+  const vec8 a(1, 2, 3, 4, 5, 6, 7, 8), b(2, 2, 2, 2, 2, 2, 2, 2);
+  expect_lanes8(a + b, {3, 4, 5, 6, 7, 8, 9, 10});
+  expect_lanes8(a - b, {-1, 0, 1, 2, 3, 4, 5, 6});
+  expect_lanes8(a * b, {2, 4, 6, 8, 10, 12, 14, 16});
+  expect_lanes8(a / b, {0.5f, 1, 1.5f, 2, 2.5f, 3, 3.5f, 4});
+  expect_lanes8(-a, {-1, -2, -3, -4, -5, -6, -7, -8});
+}
+
+TEST(Vec8, FusedMultiplyAdd) {
+  const vec8 a(1, 2, 3, 4, 5, 6, 7, 8), b(2.0f), c(10.0f);
+  expect_lanes8(fmadd(a, b, c), {12, 14, 16, 18, 20, 22, 24, 26});
+  expect_lanes8(fnmadd(a, b, c), {8, 6, 4, 2, 0, -2, -4, -6});
+}
+
+TEST(Vec8, MinMaxAbsSqrtSelect) {
+  const vec8 a(1, -2, 3, -4, 5, -6, 7, -8), b(-1, 2, -3, 4, -5, 6, -7, 8);
+  expect_lanes8(min(a, b), {-1, -2, -3, -4, -5, -6, -7, -8});
+  expect_lanes8(max(a, b), {1, 2, 3, 4, 5, 6, 7, 8});
+  expect_lanes8(abs(a), {1, 2, 3, 4, 5, 6, 7, 8});
+  expect_lanes8(sqrt(vec8(1, 4, 9, 16, 25, 36, 49, 64)), {1, 2, 3, 4, 5, 6, 7, 8});
+  expect_lanes8(select_lt(a, b, vec8(10.0f), vec8(20.0f)),
+                {20, 10, 20, 10, 20, 10, 20, 10});
+}
+
+TEST(Vec8, Rotate1ShiftsAcrossAllEightLanes) {
+  const vec8 a(1, 2, 3, 4, 5, 6, 7, 8), b(9, 10, 11, 12, 13, 14, 15, 16);
+  expect_lanes8(rotate1(a, b), {2, 3, 4, 5, 6, 7, 8, 9});
+}
+
+TEST(Vec8, HorizontalReductions) {
+  EXPECT_FLOAT_EQ(hmax(vec8(1, 9, 3, 7, -2, 11, 0, 5)), 11.0f);
+  EXPECT_FLOAT_EQ(hsum(vec8(1, 2, 3, 4, 5, 6, 7, 8)), 36.0f);
+}
+
+TEST(Vec8, RcpIsExactDivision) {
+  expect_lanes8(rcp(vec8(2, 4, 8, 10, 16, 20, 32, 40)),
+                {0.5f, 0.25f, 0.125f, 0.1f, 0.0625f, 0.05f, 0.03125f, 0.025f});
+}
+
+TEST(Vec8, MemoryOpsAtWidthEight) {
+  float buf[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const vec8 v = load_elems<vec8>(buf + 1);
+  expect_lanes8(v, {1, 2, 3, 4, 5, 6, 7, 8});
+  add_store(buf + 1, vec8(10.0f));
+  EXPECT_FLOAT_EQ(buf[1], 11);
+  EXPECT_FLOAT_EQ(buf[8], 18);
+  sub_store(buf + 0, vec8(1.0f));
+  EXPECT_FLOAT_EQ(buf[0], -1);
+  EXPECT_FLOAT_EQ(buf[7], 16);  // 7 + 10 - 1
+  EXPECT_EQ(Lanes<vec8>::value, 8);
+  EXPECT_EQ(kMaxLanes, 8);
 }
 
 TEST(MemoryOps, OverlappingAccumulateIsSequential) {
