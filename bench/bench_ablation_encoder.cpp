@@ -44,6 +44,7 @@ int main() {
           cube(ix, iy, iz) = grid.block(b)(ix, iy, iz).G;
     wavelet::forward_3d(cube.view(), levels);
     wavelet::decimate(cube.view(), levels, eps);
+    // mpcf-lint: allow(reinterpret-cast): float->byte view of wavelet coefficients for the encoder ablation
     const auto* p = reinterpret_cast<const std::uint8_t*>(cube.data());
     cubes.emplace_back(p, p + cube.size() * sizeof(float));
   }

@@ -236,6 +236,7 @@ int write_json(const char* path) {
   });
   const double lab_bulk_s = time_reps(16, [&] { f.lab.load(f.grid, 0, 0, 0, bc); });
 
+  // mpcf-lint: allow(raw-io): bench JSON report; SafeFile atomicity is pointless for a rewritable artifact
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);

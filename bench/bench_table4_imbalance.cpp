@@ -30,6 +30,7 @@ Row measure(Grid& grid, const compression::CompressionParams& params,
   // of a shared file (the collective write assigns contiguous offset ranges
   // via the exclusive scan). One warm-up write removes open/metadata noise.
   std::vector<double> io_times(times.size(), 0.0);
+  // mpcf-lint: allow(raw-io): the bench measures raw write() timing; SafeFile's fsync would dominate it
   std::FILE* f = std::fopen(path.c_str(), "wb");
   for (int warm = 0; warm < 2; ++warm) {
     for (std::size_t s = 0; s < cq.streams.size(); ++s) {

@@ -13,10 +13,17 @@ void SimComm::send(int src, int dst, int tag, std::vector<float> data) {
   stats_.messages++;
   stats_.bytes += data.size() * sizeof(float);
   mailboxes_[Key{src, dst, tag}].push_back(std::move(data));
+#if MPCF_CHECKED
+  SeqState& ss = seq_[Key{src, dst, tag}];
+  ss.in_flight.push_back(ss.next_send++);
+#endif
 }
 
 std::vector<float> SimComm::recv(int src, int dst, int tag) {
   Timer timer;
+  MPCF_CHECK(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
+             "SimComm::recv rank (" + std::to_string(src) + "->" +
+                 std::to_string(dst) + ") outside [0," + std::to_string(nranks_) + ")");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = mailboxes_.find(Key{src, dst, tag});
   require(it != mailboxes_.end() && !it->second.empty(),
@@ -24,6 +31,21 @@ std::vector<float> SimComm::recv(int src, int dst, int tag) {
   std::vector<float> data = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) mailboxes_.erase(it);
+#if MPCF_CHECKED
+  SeqState& ss = seq_[Key{src, dst, tag}];
+  MPCF_CHECK(!ss.in_flight.empty(),
+             "SimComm sequencing: recv with no tracked in-flight message (src " +
+                 std::to_string(src) + ", dst " + std::to_string(dst) + ", tag " +
+                 std::to_string(tag) + ")");
+  const std::uint64_t seq = ss.in_flight.front();
+  ss.in_flight.pop_front();
+  MPCF_CHECK(seq == ss.next_recv,
+             "SimComm sequencing: popped message #" + std::to_string(seq) +
+                 " but expected #" + std::to_string(ss.next_recv) + " (src " +
+                 std::to_string(src) + ", dst " + std::to_string(dst) + ", tag " +
+                 std::to_string(tag) + ")");
+  ss.next_recv++;
+#endif
   stats_.recv_seconds += timer.seconds();
   return data;
 }

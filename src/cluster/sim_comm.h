@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace mpcf::cluster {
@@ -86,6 +87,19 @@ class SimComm {
   std::map<Key, std::deque<std::vector<float>>> mailboxes_;
   mutable std::mutex mu_;
   mutable Stats stats_;
+#if MPCF_CHECKED
+  /// Sequencing guard (checked builds only): every message of a (src,dst,
+  /// tag) flow carries a send-side sequence number, and recv asserts it pops
+  /// them gap-free in order. Trivially true of a deque — the point is that
+  /// it STAYS true through transport refactors (out-of-order drains, lost
+  /// wakeups, double-pops all trip it immediately).
+  struct SeqState {
+    std::uint64_t next_send = 0;
+    std::uint64_t next_recv = 0;
+    std::deque<std::uint64_t> in_flight;  ///< parallels the mailbox deque
+  };
+  mutable std::map<Key, SeqState> seq_;
+#endif
 };
 
 }  // namespace mpcf::cluster

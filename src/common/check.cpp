@@ -1,0 +1,19 @@
+#include "common/check.h"
+
+namespace mpcf::check {
+
+void fail(const char* file, int line, const char* expr, const std::string& context) {
+  std::string msg = "MPCF_CHECK failed: ";
+  msg += expr;
+  msg += " at ";
+  msg += file;
+  msg += ":";
+  msg += std::to_string(line);
+  if (!context.empty()) {
+    msg += " — ";
+    msg += context;
+  }
+  throw CheckError(msg);
+}
+
+}  // namespace mpcf::check

@@ -1,0 +1,60 @@
+// MPCF_CHECKED: the zero-cost invariant build (DESIGN.md §11).
+//
+// Configure with -DMPCF_CHECKED=ON and every MPCF_CHECK in the tree becomes
+// a real guard: bounds checks on Block/BlockLab/Grid accessors, post-sweep
+// finite/positivity verification with first-failure provenance, SimComm
+// sequencing asserts, checkpoint verify-after-write. A failed check throws
+// CheckError whose what() carries file:line, the failed expression, and the
+// caller's context string.
+//
+// In a normal build (MPCF_CHECKED off) MPCF_CHECK expands to ((void)0) —
+// the condition is NOT evaluated — and MPCF_NOEXCEPT expands to noexcept,
+// so hot accessors keep their exact release signature and codegen. Guards
+// whose *setup* costs anything (state scans, readback) must additionally be
+// fenced with `#if MPCF_CHECKED`.
+//
+// This is deliberately not assert(): assert is tied to NDEBUG (so Release
+// silently strips it and Debug pays for it everywhere), aborts without
+// provenance, and cannot be caught by tests. mpcf-lint's hot-assert rule
+// rejects assert() in src/ for exactly these reasons.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#ifndef MPCF_CHECKED
+#define MPCF_CHECKED 0
+#endif
+
+namespace mpcf {
+
+/// Thrown by a failed MPCF_CHECK in checked builds.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace check {
+
+/// True exactly in MPCF_CHECKED builds (for static_assert-style tests).
+inline constexpr bool kEnabled = MPCF_CHECKED != 0;
+
+/// Formats provenance and throws CheckError. Out-of-line so the cold path
+/// never bloats an accessor, and so tests can match the message shape.
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const std::string& context);
+
+}  // namespace check
+}  // namespace mpcf
+
+#if MPCF_CHECKED
+// Checked accessors may throw, so they lose their noexcept.
+#define MPCF_NOEXCEPT
+#define MPCF_CHECK(cond, context)                                          \
+  do {                                                                     \
+    if (!(cond)) ::mpcf::check::fail(__FILE__, __LINE__, #cond, (context)); \
+  } while (0)
+#else
+#define MPCF_NOEXCEPT noexcept
+#define MPCF_CHECK(cond, context) ((void)0)
+#endif

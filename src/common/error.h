@@ -1,8 +1,9 @@
 // Minimal error-handling helpers (Core Guidelines E.x: throw on broken
-// preconditions in non-hot paths; hot kernels use asserts only).
+// preconditions in non-hot paths; hot paths use MPCF_CHECK from
+// common/check.h, which exists exactly in MPCF_CHECKED builds — raw
+// assert() is rejected by mpcf-lint's hot-assert rule).
 #pragma once
 
-#include <cassert>
 #include <stdexcept>
 #include <string>
 

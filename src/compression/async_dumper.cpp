@@ -67,6 +67,7 @@ double compress_and_write(Snapshot snap, CompressionParams params, std::string p
   if (params.coder == Coder::kSparseZlib) {
     buffer = sparse_encode(snap.cubes.data(), snap.cubes.size());
   } else {
+    // mpcf-lint: allow(reinterpret-cast): float->byte view of the snapshot cubes for the dense path
     const auto* bytes = reinterpret_cast<const std::uint8_t*>(snap.cubes.data());
     buffer.assign(bytes, bytes + snap.cubes.size() * sizeof(float));
   }

@@ -119,6 +119,7 @@ CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& 
       gather_block_quantity(grid.block(i), bs, params, cube.data());
       wavelet::forward_3d_simd(cube.view(), levels);
       wavelet::decimate(cube.view(), levels, params.eps, params.mode);
+      // mpcf-lint: allow(reinterpret-cast): float->byte view of the decimated cube for the entropy coder
       const auto* bytes = reinterpret_cast<const std::uint8_t*>(cube.data());
       buffer.insert(buffer.end(), bytes, bytes + cube_floats * sizeof(float));
       stream.block_ids.push_back(static_cast<std::uint32_t>(i));
@@ -131,6 +132,7 @@ CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& 
     // first strips the zero runs left by the decimation.
     t.restart();
     if (params.coder == Coder::kSparseZlib && !buffer.empty()) {
+      // mpcf-lint: allow(reinterpret-cast): byte->float view; buffer holds packed float cubes by construction
       const auto* floats = reinterpret_cast<const float*>(buffer.data());
       const auto sparse = sparse_encode(floats, buffer.size() / sizeof(float));
       buffer.assign(sparse.begin(), sparse.end());
@@ -163,6 +165,7 @@ Field3D<float> decompress_to_field(const CompressedQuantity& cq) {
     if (cq.coder == Coder::kSparseZlib) {
       const std::size_t nfloats = stream.block_ids.size() * cube_bytes / sizeof(float);
       std::vector<std::uint8_t> dense(nfloats * sizeof(float));
+      // mpcf-lint: allow(reinterpret-cast): sparse decoder writes floats into the byte staging buffer
       sparse_decode(raw, reinterpret_cast<float*>(dense.data()), nfloats);
       raw = std::move(dense);
     }

@@ -68,6 +68,7 @@ std::vector<std::uint8_t> sparse_encode(const float* data, std::size_t n) {
         put_varint(out, nvals);
       },
       [&](float v) { values.push_back(v); });
+  // mpcf-lint: allow(reinterpret-cast): float->byte view of the survivor values for the output stream
   const auto* vb = reinterpret_cast<const std::uint8_t*>(values.data());
   out.insert(out.end(), vb, vb + values.size() * sizeof(float));
   return out;

@@ -2,9 +2,14 @@
 
 #include <omp.h>
 
+#include <cmath>
+#include <string_view>
+
+#include "common/check.h"
 #include "compression/compressor.h"
 #include "eos/stiffened_gas.h"
 #include "io/compressed_file.h"
+#include "io/safe_file.h"
 #include "kernels/sos.h"
 #include "kernels/update.h"
 
@@ -109,7 +114,13 @@ void Simulation::update(double b_dt) {
 void Simulation::advance(double dt) {
   for (int s = 0; s < LsRk3::kStages; ++s) {
     evaluate_rhs(LsRk3::a[s]);
+#if MPCF_CHECKED
+    verify_state("rhs", s);
+#endif
     update(LsRk3::b[s] * dt);
+#if MPCF_CHECKED
+    verify_state("update", s);
+#endif
   }
   if (params_.rho_floor > 0 || params_.p_floor > 0) apply_positivity_guard();
   time_ += dt;
@@ -156,6 +167,64 @@ void Simulation::apply_positivity_guard() {
   }
   params_.clamped_cells += clamped;
 }
+
+#if MPCF_CHECKED
+void Simulation::verify_state(const char* phase, int stage) const {
+  const bool after_rhs = std::string_view(phase) == "rhs";
+  const int bs = grid_.block_size();
+  for (int b = 0; b < grid_.block_count(); ++b) {
+    const Block& blk = grid_.block(b);
+    // After RHS the invariant lives in the RK accumulator (finite fluxes);
+    // after UPDATE it lives in the conserved state (finite + positive rho).
+    const Cell* cells = after_rhs ? blk.tmp_data() : blk.data();
+    const std::size_t n = blk.cells();
+    for (std::size_t k = 0; k < n; ++k) {
+      const Cell& c = cells[k];
+      int bad_q = -1;
+      for (int q = 0; q < kNumQuantities; ++q) {
+        if (!std::isfinite(c.q(q))) {
+          bad_q = q;
+          break;
+        }
+      }
+      if (bad_q < 0 && !after_rhs && !(c.rho > 0)) bad_q = Q_RHO;
+      if (bad_q < 0) continue;
+
+      const int ix = static_cast<int>(k) % bs;
+      const int iy = (static_cast<int>(k) / bs) % bs;
+      const int iz = static_cast<int>(k) / (bs * bs);
+      std::string repro = "mpcf_repro_step" + std::to_string(profile_.steps) +
+                          "_stage" + std::to_string(stage) + "_block" +
+                          std::to_string(b) + ".bin";
+      // Mini-state repro: enough to reload the offending block and re-run
+      // the failing sweep in isolation (magic, provenance header, then the
+      // block's conserved state and RK accumulator, raw).
+      try {
+        io::SafeFile f(repro);
+        f.write("MPCFRPR1", 8);
+        for (std::int32_t v : {b, bs, stage, after_rhs ? 0 : 1,
+                               static_cast<std::int32_t>(bad_q)})
+          f.put(v);
+        f.put(static_cast<std::int64_t>(profile_.steps));
+        f.put(time_);
+        f.write(blk.data(), n * sizeof(Cell));
+        f.write(blk.tmp_data(), n * sizeof(Cell));
+        f.commit();
+      } catch (const IoError&) {
+        repro = "<repro dump failed>";
+      }
+      check::fail(__FILE__, __LINE__, after_rhs ? "finite(tmp)" : "finite(u) && rho>0",
+                  "post-" + std::string(phase) + " state invalid: step " +
+                      std::to_string(profile_.steps) + ", RK stage " +
+                      std::to_string(stage) + ", block " + std::to_string(b) +
+                      ", cell (" + std::to_string(ix) + "," + std::to_string(iy) +
+                      "," + std::to_string(iz) + "), quantity " +
+                      std::to_string(bad_q) + " = " +
+                      std::to_string(c.q(bad_q)) + ", repro " + repro);
+    }
+  }
+}
+#endif  // MPCF_CHECKED
 
 double Simulation::step() {
   const double dt = compute_dt();

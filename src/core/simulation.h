@@ -121,6 +121,15 @@ class Simulation {
   /// Loads + evaluates one block on the calling thread's lab/workspace.
   void rhs_one_block(double a_coeff, int block_id);
 
+  /// MPCF_CHECKED builds only (call sites are fenced): scans the post-sweep
+  /// state — the RK accumulator after an RHS sweep ("rhs"), the conserved
+  /// state after an UPDATE sweep ("update") — for non-finite values and
+  /// non-positive density. The first offending cell is dumped as a
+  /// mini-state repro file (block data + tmp, raw) and reported via
+  /// CheckError with full provenance: phase, RK stage, step, block, cell,
+  /// quantity.
+  void verify_state(const char* phase, int stage) const;
+
   Grid grid_;
   Params params_;
   double time_ = 0;

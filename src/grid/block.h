@@ -3,6 +3,7 @@
 #pragma once
 
 #include "common/aligned_buffer.h"
+#include "common/check.h"
 #include "common/error.h"
 #include "grid/cell.h"
 
@@ -23,16 +24,18 @@ class Block {
   [[nodiscard]] int size() const noexcept { return bs_; }
   [[nodiscard]] std::size_t cells() const noexcept { return data_.size(); }
 
-  [[nodiscard]] Cell& operator()(int ix, int iy, int iz) noexcept {
+  [[nodiscard]] Cell& operator()(int ix, int iy, int iz) MPCF_NOEXCEPT {
     return data_[index(ix, iy, iz)];
   }
-  [[nodiscard]] const Cell& operator()(int ix, int iy, int iz) const noexcept {
+  [[nodiscard]] const Cell& operator()(int ix, int iy, int iz) const MPCF_NOEXCEPT {
     return data_[index(ix, iy, iz)];
   }
 
   /// RHS / low-storage RK accumulator cell.
-  [[nodiscard]] Cell& tmp(int ix, int iy, int iz) noexcept { return tmp_[index(ix, iy, iz)]; }
-  [[nodiscard]] const Cell& tmp(int ix, int iy, int iz) const noexcept {
+  [[nodiscard]] Cell& tmp(int ix, int iy, int iz) MPCF_NOEXCEPT {
+    return tmp_[index(ix, iy, iz)];
+  }
+  [[nodiscard]] const Cell& tmp(int ix, int iy, int iz) const MPCF_NOEXCEPT {
     return tmp_[index(ix, iy, iz)];
   }
 
@@ -42,7 +45,10 @@ class Block {
   [[nodiscard]] const Cell* tmp_data() const noexcept { return tmp_.data(); }
 
  private:
-  [[nodiscard]] std::size_t index(int ix, int iy, int iz) const noexcept {
+  [[nodiscard]] std::size_t index(int ix, int iy, int iz) const MPCF_NOEXCEPT {
+    MPCF_CHECK(ix >= 0 && ix < bs_ && iy >= 0 && iy < bs_ && iz >= 0 && iz < bs_,
+               "Block cell (" + std::to_string(ix) + "," + std::to_string(iy) + "," +
+                   std::to_string(iz) + ") outside [0," + std::to_string(bs_) + ")^3");
     return ix + static_cast<std::size_t>(bs_) * (iy + static_cast<std::size_t>(bs_) * iz);
   }
 

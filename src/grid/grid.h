@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "grid/block.h"
 #include "grid/boundary.h"
@@ -42,8 +43,16 @@ class Grid {
   /// Cell-center coordinate of global cell index along an axis.
   [[nodiscard]] double cell_center(int i) const noexcept { return (i + 0.5) * h_; }
 
-  [[nodiscard]] Block& block(int linear_index) noexcept { return blocks_[linear_index]; }
-  [[nodiscard]] const Block& block(int linear_index) const noexcept {
+  [[nodiscard]] Block& block(int linear_index) MPCF_NOEXCEPT {
+    MPCF_CHECK(linear_index >= 0 && linear_index < block_count(),
+               "Grid block " + std::to_string(linear_index) + " outside [0," +
+                   std::to_string(block_count()) + ")");
+    return blocks_[linear_index];
+  }
+  [[nodiscard]] const Block& block(int linear_index) const MPCF_NOEXCEPT {
+    MPCF_CHECK(linear_index >= 0 && linear_index < block_count(),
+               "Grid block " + std::to_string(linear_index) + " outside [0," +
+                   std::to_string(block_count()) + ")");
     return blocks_[linear_index];
   }
   [[nodiscard]] Block& block(int ix, int iy, int iz) noexcept {
@@ -54,11 +63,19 @@ class Grid {
   }
 
   /// Access to a cell by global cell coordinates (must be inside the domain).
-  [[nodiscard]] Cell& cell(int ix, int iy, int iz) noexcept {
+  [[nodiscard]] Cell& cell(int ix, int iy, int iz) MPCF_NOEXCEPT {
+    MPCF_CHECK(ix >= 0 && ix < cells_x() && iy >= 0 && iy < cells_y() && iz >= 0 &&
+                   iz < cells_z(),
+               "Grid cell (" + std::to_string(ix) + "," + std::to_string(iy) + "," +
+                   std::to_string(iz) + ") outside the domain");
     Block& b = block(ix / bs_, iy / bs_, iz / bs_);
     return b(ix % bs_, iy % bs_, iz % bs_);
   }
-  [[nodiscard]] const Cell& cell(int ix, int iy, int iz) const noexcept {
+  [[nodiscard]] const Cell& cell(int ix, int iy, int iz) const MPCF_NOEXCEPT {
+    MPCF_CHECK(ix >= 0 && ix < cells_x() && iy >= 0 && iy < cells_y() && iz >= 0 &&
+                   iz < cells_z(),
+               "Grid cell (" + std::to_string(ix) + "," + std::to_string(iy) + "," +
+                   std::to_string(iz) + ") outside the domain");
     const Block& b = block(ix / bs_, iy / bs_, iz / bs_);
     return b(ix % bs_, iy % bs_, iz % bs_);
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/check.h"
 #include "common/config.h"
 #include "grid/boundary.h"
 #include "grid/grid.h"
@@ -40,6 +41,7 @@ class BlockLab {
     const std::size_t per_q = static_cast<std::size_t>(n_) * n_ * n_;
     storage_.reset(per_q * kNumQuantities);
     per_q_ = per_q;
+    // mpcf-lint: allow(kernel-alloc): one-time lab (re)allocation; load() reuses these tables per block
     for (auto& t : fold_) t.resize(n_);
   }
 
@@ -55,14 +57,24 @@ class BlockLab {
   }
 
   /// Element access with block-local coordinates in [-ghosts, bs+ghosts).
-  [[nodiscard]] Real& operator()(int quantity, int ix, int iy, int iz) noexcept {
+  [[nodiscard]] Real& operator()(int quantity, int ix, int iy, int iz) MPCF_NOEXCEPT {
+    MPCF_CHECK(quantity >= 0 && quantity < kNumQuantities,
+               "BlockLab quantity " + std::to_string(quantity));
     return q(quantity)[offset(ix, iy, iz)];
   }
-  [[nodiscard]] const Real& operator()(int quantity, int ix, int iy, int iz) const noexcept {
+  [[nodiscard]] const Real& operator()(int quantity, int ix, int iy,
+                                       int iz) const MPCF_NOEXCEPT {
+    MPCF_CHECK(quantity >= 0 && quantity < kNumQuantities,
+               "BlockLab quantity " + std::to_string(quantity));
     return q(quantity)[offset(ix, iy, iz)];
   }
 
-  [[nodiscard]] std::size_t offset(int ix, int iy, int iz) const noexcept {
+  [[nodiscard]] std::size_t offset(int ix, int iy, int iz) const MPCF_NOEXCEPT {
+    MPCF_CHECK(ix >= -g_ && ix < bs_ + g_ && iy >= -g_ && iy < bs_ + g_ &&
+                   iz >= -g_ && iz < bs_ + g_,
+               "BlockLab cell (" + std::to_string(ix) + "," + std::to_string(iy) +
+                   "," + std::to_string(iz) + ") outside [" + std::to_string(-g_) +
+                   "," + std::to_string(bs_ + g_) + ")^3");
     return (ix + g_) +
            static_cast<std::size_t>(n_) *
                ((iy + g_) + static_cast<std::size_t>(n_) * (iz + g_));

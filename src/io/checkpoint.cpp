@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "io/safe_file.h"
 
@@ -94,10 +95,30 @@ std::uint64_t save_grid_checkpoint(const std::string& path, const Grid& g,
 
   SafeFile f(path);
   f.write(kMagicV2, 8);
-  f.put(crc32_bytes(header.data(), header.size()));
+  const std::uint32_t header_crc = crc32_bytes(header.data(), header.size());
+  f.put(header_crc);
   f.write(header.data(), header.size());
   f.write(comp.data(), comp.size());
   f.commit();
+
+#if MPCF_CHECKED
+  // Verify-after-write: re-read the committed file and prove that what
+  // landed on disk is byte-for-byte what we meant to write (catches rot
+  // between rename and first use, torn commits the OS hid from us, and any
+  // future serializer bug the CRCs alone would only catch at restart time).
+  const std::vector<std::uint8_t> back = read_file(path);
+  MPCF_CHECK(back.size() == 12 + header.size() + comp.size(),
+             "checkpoint readback: " + path + " landed with " +
+                 std::to_string(back.size()) + " bytes, wrote " +
+                 std::to_string(12 + header.size() + comp.size()));
+  MPCF_CHECK(std::memcmp(back.data(), kMagicV2, 8) == 0,
+             "checkpoint readback: bad magic in " + path);
+  MPCF_CHECK(crc32_bytes(back.data() + 12, header.size()) == header_crc,
+             "checkpoint readback: header CRC mismatch in " + path);
+  MPCF_CHECK(crc32_bytes(back.data() + 12 + header.size(), comp.size()) ==
+                 crc32_bytes(comp.data(), comp.size()),
+             "checkpoint readback: payload CRC mismatch in " + path);
+#endif
   return f.bytes_written();
 }
 

@@ -90,6 +90,7 @@ std::string Tracer::chrome_json() const {
 }
 
 void Tracer::write_chrome_json(const std::string& path) const {
+  // mpcf-lint: allow(raw-io): dev-tool trace export; a torn trace JSON is harmless, crash-safety not needed
   std::ofstream f(path, std::ios::binary);
   require(f.good(), "Tracer::write_chrome_json: cannot open output file");
   const std::string json = chrome_json();

@@ -77,6 +77,7 @@ TEST(Checkpoint, RejectsShapeMismatch) {
 
 TEST(Checkpoint, RejectsCorruptFile) {
   const std::string path = ::testing::TempDir() + "/mpcf_ckpt4.bin";
+  // mpcf-lint: allow(raw-io): corruption test must plant an invalid file without SafeFile's integrity machinery
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("not a checkpoint", f);
   std::fclose(f);

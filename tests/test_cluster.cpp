@@ -242,6 +242,7 @@ TEST(Cluster, TracerCapturesPhasesAndExportsChromeJson) {
 
   const std::string path = ::testing::TempDir() + "/mpcf_trace.json";
   cs.tracer().write_chrome_json(path);
+  // mpcf-lint: allow(raw-io): test oracle re-reads the exported trace independently of the writer
   std::ifstream f(path);
   ASSERT_TRUE(f.good());
   std::stringstream ss;

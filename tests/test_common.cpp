@@ -14,8 +14,10 @@ namespace {
 TEST(AlignedBuffer, AllocatesAligned) {
   AlignedBuffer<float> buf(100);
   EXPECT_EQ(buf.size(), 100u);
+  // mpcf-lint: allow(reinterpret-cast): pointer->integer conversion is the alignment assertion itself
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kSimdAlignment, 0u);
   AlignedBuffer<double> b16(7, 16);
+  // mpcf-lint: allow(reinterpret-cast): pointer->integer conversion is the alignment assertion itself
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b16.data()) % 16, 0u);
 }
 

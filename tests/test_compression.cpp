@@ -215,6 +215,7 @@ TEST(CompressedFile, RoundTripThroughDisk) {
 
 TEST(CompressedFile, RejectsCorruptMagic) {
   const std::string path = ::testing::TempDir() + "/mpcf_bad_magic.cq";
+  // mpcf-lint: allow(raw-io): corruption test must plant an invalid file without SafeFile's integrity machinery
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
   std::vector<char> junk(128, 'x');

@@ -1,0 +1,214 @@
+// Tests of the mpcf-lint engine (tools/mpcf-lint/lint.h): every rule must
+// fire on a seeded violation with the right file:line, stay quiet on the
+// idiomatic clean counterpart, and honour the allow()/allow-file()
+// suppression contract (justification mandatory).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+using mpcf::lint::Diagnostic;
+using mpcf::lint::lint_file;
+
+std::vector<Diagnostic> of_rule(const std::vector<Diagnostic>& ds, const std::string& r) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : ds)
+    if (d.rule == r) out.push_back(d);
+  return out;
+}
+
+TEST(LintRawIo, FlagsFopenOutsideIoWithLine) {
+  const std::string src =
+      "#include <cstdio>\n"
+      "void f() {\n"
+      "  std::FILE* f = std::fopen(\"x\", \"w\");\n"
+      "}\n";
+  const auto ds = of_rule(lint_file("src/core/foo.cpp", src), "raw-io");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].line, 3);
+  EXPECT_EQ(ds[0].file, "src/core/foo.cpp");
+}
+
+TEST(LintRawIo, SrcIoIsExempt) {
+  const std::string src = "void f() { std::FILE* f = std::fopen(\"x\", \"w\"); }\n";
+  EXPECT_TRUE(of_rule(lint_file("src/io/foo.cpp", src), "raw-io").empty());
+}
+
+TEST(LintRawIo, OfstreamInTestsFlagged) {
+  const std::string src = "void f() { std::ofstream out(\"x\"); }\n";
+  EXPECT_EQ(of_rule(lint_file("tests/test_x.cpp", src), "raw-io").size(), 1u);
+}
+
+TEST(LintRawIo, StringAndCommentContentsNeverMatch) {
+  const std::string src =
+      "// fopen in a comment is fine\n"
+      "const char* s = \"fopen ofstream\";\n"
+      "/* block comment: ifstream */\n";
+  EXPECT_TRUE(of_rule(lint_file("src/core/foo.cpp", src), "raw-io").empty());
+}
+
+TEST(LintRawIo, IncludeLinesAreIgnored) {
+  EXPECT_TRUE(
+      of_rule(lint_file("src/core/foo.cpp", "#include <fstream>\n"), "raw-io").empty());
+}
+
+TEST(LintHotAssert, FlagsAssertInSrcOnly) {
+  const std::string src = "void f(int x) { assert(x > 0); }\n";
+  const auto ds = of_rule(lint_file("src/kernels/foo.cpp", src), "hot-assert");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].line, 1);
+  // gtest macros and static_assert are not assert()
+  EXPECT_TRUE(of_rule(lint_file("src/core/f.cpp",
+                                "static_assert(sizeof(int) == 4);\n"),
+                      "hot-assert")
+                  .empty());
+  EXPECT_TRUE(of_rule(lint_file("tests/t.cpp", "void f() { assert(1); }\n"),
+                      "hot-assert")
+                  .empty());
+}
+
+TEST(LintReinterpretCast, WhitelistsSimdAndIo) {
+  const std::string src = "auto* p = reinterpret_cast<float*>(q);\n";
+  EXPECT_EQ(of_rule(lint_file("src/compression/c.cpp", src), "reinterpret-cast").size(),
+            1u);
+  EXPECT_TRUE(of_rule(lint_file("src/simd/vec4.h", src), "reinterpret-cast").empty());
+  EXPECT_TRUE(of_rule(lint_file("src/io/safe_file.h", src), "reinterpret-cast").empty());
+}
+
+TEST(LintKernelAlloc, FlagsGrowthInsideLoop) {
+  const std::string src =
+      "void f(std::vector<int>& v) {\n"
+      "  v.reserve(8);\n"               // outside any loop: fine
+      "  for (int i = 0; i < 8; ++i) {\n"
+      "    v.push_back(i);\n"           // line 4: growth in loop
+      "  }\n"
+      "}\n";
+  const auto ds = of_rule(lint_file("src/kernels/rhs.cpp", src), "kernel-alloc");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].line, 4);
+}
+
+TEST(LintKernelAlloc, FlagsBracelessLoopBodyAndNew) {
+  const std::string src =
+      "void f(std::vector<std::vector<int>>& v) {\n"
+      "  for (auto& t : v) t.resize(9);\n"
+      "  while (g()) p = new int[4];\n"
+      "}\n";
+  const auto ds = of_rule(lint_file("src/grid/lab.h", src), "kernel-alloc");
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].line, 2);
+  EXPECT_EQ(ds[1].line, 3);
+}
+
+TEST(LintKernelAlloc, OutsideKernelScopeIgnored) {
+  const std::string src = "void f() { for (;;) v.push_back(1); }\n";
+  EXPECT_TRUE(of_rule(lint_file("src/cluster/x.cpp", src), "kernel-alloc").empty());
+}
+
+TEST(LintScalarTail, FlagsMissingTail) {
+  const std::string src =
+      "void f(float* p, int n) {\n"
+      "  constexpr int L = 8;\n"
+      "  int i = 0;\n"
+      "  for (; i + L <= n; i += L) store(p + i);\n"
+      "}\n";
+  const auto ds = of_rule(lint_file("src/kernels/update.cpp", src), "scalar-tail");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].line, 4);
+}
+
+TEST(LintScalarTail, TailSatisfies) {
+  const std::string src =
+      "void f(float* p, int n) {\n"
+      "  constexpr int L = 8;\n"
+      "  int i = 0;\n"
+      "  for (; i + L <= n; i += L) store(p + i);\n"
+      "  for (; i < n; ++i) p[i] = 0;\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(lint_file("src/kernels/update.cpp", src), "scalar-tail").empty());
+}
+
+TEST(LintHeaderGuard, RequiresPragmaOnce) {
+  const auto ds =
+      of_rule(lint_file("src/core/foo.h", "#ifndef FOO_H\n#define FOO_H\n#endif\n"),
+              "header-guard");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].line, 1);
+  EXPECT_TRUE(of_rule(lint_file("src/core/foo.h", "// doc\n#pragma once\nint x;\n"),
+                      "header-guard")
+                  .empty());
+  // .cpp files have no guard requirement
+  EXPECT_TRUE(of_rule(lint_file("src/core/foo.cpp", "int x;\n"), "header-guard").empty());
+}
+
+TEST(LintIncludeHygiene, RelativeAndDuplicateIncludes) {
+  const std::string src =
+      "#include \"../core/simulation.h\"\n"
+      "#include \"grid/block.h\"\n"
+      "#include \"grid/block.h\"\n";
+  const auto ds = of_rule(lint_file("src/core/foo.cpp", src), "include-hygiene");
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].line, 1);  // relative path
+  EXPECT_EQ(ds[1].line, 3);  // duplicate
+}
+
+TEST(LintSuppression, LineLevelAllowWithJustification) {
+  const std::string src =
+      "void f() {\n"
+      "  // mpcf-lint: allow(raw-io): corruption harness writes broken bytes on purpose\n"
+      "  std::FILE* f = std::fopen(\"x\", \"wb\");\n"
+      "}\n";
+  EXPECT_TRUE(lint_file("tests/t.cpp", src).empty());
+}
+
+TEST(LintSuppression, TrailingSameLineAllow) {
+  const std::string src =
+      "void f() {\n"
+      "  std::FILE* f = std::fopen(\"x\", \"wb\");  // mpcf-lint: allow(raw-io): oracle\n"
+      "}\n";
+  EXPECT_TRUE(lint_file("tests/t.cpp", src).empty());
+}
+
+TEST(LintSuppression, AllowWithoutJustificationIsItselfFlagged) {
+  const std::string src =
+      "  // mpcf-lint: allow(raw-io)\n"
+      "  std::FILE* f = std::fopen(\"x\", \"wb\");\n";
+  const auto ds = lint_file("tests/t.cpp", src);
+  // The bare allow() is rejected AND does not suppress.
+  EXPECT_EQ(of_rule(ds, "bad-suppression").size(), 1u);
+  EXPECT_EQ(of_rule(ds, "raw-io").size(), 1u);
+}
+
+TEST(LintSuppression, UnknownRuleRejected) {
+  const auto ds = lint_file("src/a.cpp", "// mpcf-lint: allow(no-such-rule): because\n");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "bad-suppression");
+}
+
+TEST(LintSuppression, FileLevelAllowCoversWholeFile) {
+  const std::string src =
+      "// mpcf-lint: allow-file(raw-io): this harness exists to write raw broken files\n"
+      "void a() { std::FILE* f = std::fopen(\"x\", \"wb\"); }\n"
+      "void b() { std::ofstream o(\"y\"); }\n";
+  EXPECT_TRUE(lint_file("tests/t.cpp", src).empty());
+}
+
+TEST(LintSuppression, AllowOfOtherRuleDoesNotSuppress) {
+  const std::string src =
+      "  // mpcf-lint: allow(reinterpret-cast): wrong rule named\n"
+      "  std::FILE* f = std::fopen(\"x\", \"wb\");\n";
+  EXPECT_EQ(of_rule(lint_file("tests/t.cpp", src), "raw-io").size(), 1u);
+}
+
+TEST(LintEngine, RuleNamesNonEmptyAndUnique) {
+  const auto& rules = mpcf::lint::rule_names();
+  EXPECT_GE(rules.size(), 8u);
+  for (std::size_t i = 0; i < rules.size(); ++i)
+    for (std::size_t j = i + 1; j < rules.size(); ++j) EXPECT_NE(rules[i], rules[j]);
+}
+
+}  // namespace

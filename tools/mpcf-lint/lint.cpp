@@ -1,0 +1,559 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <set>
+
+namespace mpcf::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small text helpers.
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Position of whole-word occurrence of `w` in `l` at or after `from`;
+/// npos if none.
+std::size_t find_word(const std::string& l, const std::string& w, std::size_t from = 0) {
+  for (std::size_t p = l.find(w, from); p != std::string::npos; p = l.find(w, p + 1)) {
+    const bool left_ok = p == 0 || !ident_char(l[p - 1]);
+    const bool right_ok = p + w.size() >= l.size() || !ident_char(l[p + w.size()]);
+    if (left_ok && right_ok) return p;
+  }
+  return std::string::npos;
+}
+
+std::string trimmed(const std::string& l) {
+  std::size_t a = l.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  std::size_t b = l.find_last_not_of(" \t");
+  return l.substr(a, b - a + 1);
+}
+
+bool contains(const std::string& path, const char* piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& l, std::size_t p) {
+  while (p < l.size() && (l[p] == ' ' || l[p] == '\t')) ++p;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: split a translation unit into per-line code text (comments and
+// string/char literal contents blanked with spaces, so literals can never
+// match a rule) and per-line comment text (where annotations live).
+// ---------------------------------------------------------------------------
+
+struct FileImage {
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+};
+
+FileImage scan(const std::string& s) {
+  FileImage img;
+  std::string code_line, comment_line;
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_close;  // ")delim\"" terminator of the active raw string
+
+  auto flush = [&] {
+    img.code.push_back(code_line);
+    img.comment.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kCode;
+      flush();
+      continue;
+    }
+    switch (st) {
+      case St::kCode: {
+        const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"' && trimmed(code_line).starts_with("#")) {
+          // Preprocessor lines keep their quoted text verbatim so
+          // include-hygiene can see #include "path" targets; every content
+          // rule skips '#' lines.
+          code_line += c;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — only when the quote follows an R prefix.
+          if (!code_line.empty() && code_line.back() == 'R' &&
+              (code_line.size() < 2 || !ident_char(code_line[code_line.size() - 2]))) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < s.size() && s[j] != '(') delim += s[j++];
+            raw_close = ")" + delim + "\"";
+            st = St::kRaw;
+            code_line += '"';
+            for (std::size_t k = i + 1; k <= j && k < s.size(); ++k) code_line += ' ';
+            i = j;
+          } else {
+            st = St::kString;
+            code_line += '"';
+          }
+        } else if (c == '\'' && !(!code_line.empty() && ident_char(code_line.back()))) {
+          // Entered only after a non-identifier char: 1'000 digit separators
+          // stay plain code.
+          st = St::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      }
+      case St::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case St::kBlockComment:
+        if (c == '*' && i + 1 < s.size() && s[i + 1] == '/') {
+          st = St::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && i + 1 < s.size()) {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && i + 1 < s.size()) {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case St::kRaw: {
+        if (s.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 1; k < raw_close.size(); ++k) code_line += ' ';
+          code_line += '"';
+          i += raw_close.size() - 1;
+          st = St::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  flush();
+  return img;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions:  // mpcf-lint: allow(<rule>): <justification>
+//                // mpcf-lint: allow-file(<rule>): <justification>
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  int line;  // 1-based annotation line
+  std::string rule;
+  bool file_level;
+};
+
+void parse_suppressions(const FileImage& img, const std::string& path,
+                        std::vector<Suppression>* sup, std::vector<Diagnostic>* diags) {
+  const auto& rules = rule_names();
+  for (std::size_t li = 0; li < img.comment.size(); ++li) {
+    const std::string& cm = img.comment[li];
+    const int line = static_cast<int>(li) + 1;
+    for (std::size_t p = cm.find("mpcf-lint:"); p != std::string::npos;
+         p = cm.find("mpcf-lint:", p + 1)) {
+      std::size_t q = skip_ws(cm, p + 10);
+      bool file_level = false;
+      if (cm.compare(q, 11, "allow-file(") == 0) {
+        file_level = true;
+        q += 11;
+      } else if (cm.compare(q, 6, "allow(") == 0) {
+        q += 6;
+      } else {
+        diags->push_back({path, line, "bad-suppression",
+                          "mpcf-lint annotation must be allow(<rule>) or "
+                          "allow-file(<rule>)"});
+        continue;
+      }
+      const std::size_t close = cm.find(')', q);
+      if (close == std::string::npos) {
+        diags->push_back({path, line, "bad-suppression", "unterminated allow()"});
+        continue;
+      }
+      const std::string rule = trimmed(cm.substr(q, close - q));
+      if (std::find(rules.begin(), rules.end(), rule) == rules.end()) {
+        diags->push_back(
+            {path, line, "bad-suppression", "allow() names unknown rule '" + rule + "'"});
+        continue;
+      }
+      // Justification: any non-empty text after the closing paren (a leading
+      // ':' is idiomatic but not required).
+      std::size_t j = skip_ws(cm, close + 1);
+      if (j < cm.size() && cm[j] == ':') j = skip_ws(cm, j + 1);
+      if (j >= cm.size()) {
+        diags->push_back({path, line, "bad-suppression",
+                          "allow(" + rule + ") needs a justification string"});
+        continue;
+      }
+      sup->push_back({line, rule, file_level});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-io — no fopen/ofstream/... outside src/io (SafeFile is the only
+// crash-safe writer; see DESIGN.md §8).
+// ---------------------------------------------------------------------------
+
+void rule_raw_io(const FileImage& img, const std::string& path,
+                 std::vector<Diagnostic>* out) {
+  if (contains(path, "src/io/")) return;
+  static const std::array<const char*, 5> kTokens = {"fopen", "freopen", "ofstream",
+                                                     "ifstream", "fstream"};
+  for (std::size_t li = 0; li < img.code.size(); ++li) {
+    const std::string& l = img.code[li];
+    if (!l.empty() && trimmed(l).starts_with("#")) continue;  // includes etc.
+    for (const char* tok : kTokens) {
+      if (find_word(l, tok) != std::string::npos) {
+        out->push_back({path, static_cast<int>(li) + 1, "raw-io",
+                        std::string("raw file I/O ('") + tok +
+                            "') outside src/io; use io::SafeFile / io::read_file"});
+        break;  // one diagnostic per line is enough
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-assert — assert() is compiled out by NDEBUG and its failure mode
+// (abort, no provenance) is useless at scale; src/ uses MPCF_CHECK.
+// ---------------------------------------------------------------------------
+
+void rule_hot_assert(const FileImage& img, const std::string& path,
+                     std::vector<Diagnostic>* out) {
+  if (!contains(path, "src/")) return;
+  for (std::size_t li = 0; li < img.code.size(); ++li) {
+    const std::string& l = img.code[li];
+    for (std::size_t p = find_word(l, "assert"); p != std::string::npos;
+         p = find_word(l, "assert", p + 1)) {
+      const std::size_t q = skip_ws(l, p + 6);
+      if (q < l.size() && l[q] == '(') {
+        out->push_back({path, static_cast<int>(li) + 1, "hot-assert",
+                        "assert() in src/; use MPCF_CHECK (common/check.h) so the "
+                        "guard exists exactly in MPCF_CHECKED builds with provenance"});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: reinterpret-cast — type punning is confined to the SIMD backends and
+// the serialization layer; anywhere else it must be justified in place.
+// ---------------------------------------------------------------------------
+
+void rule_reinterpret_cast(const FileImage& img, const std::string& path,
+                           std::vector<Diagnostic>* out) {
+  if (contains(path, "src/simd/") || contains(path, "src/io/")) return;
+  for (std::size_t li = 0; li < img.code.size(); ++li) {
+    if (find_word(img.code[li], "reinterpret_cast") != std::string::npos)
+      out->push_back({path, static_cast<int>(li) + 1, "reinterpret-cast",
+                      "reinterpret_cast outside the src/simd + src/io whitelist"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: kernel-alloc — no heap allocation or container growth inside loops
+// of kernel-scope files (src/kernels/, src/grid/lab.h). A token walk tracks
+// for/while bodies (braced or single-statement) and flags new/malloc family
+// and growth member calls inside them.
+// ---------------------------------------------------------------------------
+
+bool kernel_scope(const std::string& path) {
+  return contains(path, "src/kernels/") || contains(path, "src/grid/lab.h");
+}
+
+void rule_kernel_alloc(const FileImage& img, const std::string& path,
+                       std::vector<Diagnostic>* out) {
+  if (!kernel_scope(path)) return;
+
+  struct Tok {
+    std::string text;  // identifier, or 1-char punctuation
+    int line;
+  };
+  std::vector<Tok> toks;
+  for (std::size_t li = 0; li < img.code.size(); ++li) {
+    const std::string& l = img.code[li];
+    if (trimmed(l).starts_with("#")) continue;  // preprocessor
+    for (std::size_t p = 0; p < l.size();) {
+      if (ident_char(l[p])) {
+        std::size_t q = p;
+        while (q < l.size() && ident_char(l[q])) ++q;
+        toks.push_back({l.substr(p, q - p), static_cast<int>(li) + 1});
+        p = q;
+      } else {
+        if (!std::isspace(static_cast<unsigned char>(l[p])))
+          toks.push_back({std::string(1, l[p]), static_cast<int>(li) + 1});
+        ++p;
+      }
+    }
+  }
+
+  static const std::array<const char*, 4> kAllocCalls = {"malloc", "calloc", "realloc",
+                                                         "aligned_alloc"};
+  static const std::array<const char*, 5> kGrowthCalls = {"push_back", "emplace_back",
+                                                          "resize", "reserve", "insert"};
+
+  std::vector<bool> brace_is_loop;  // one entry per open {
+  int inline_loops = 0;             // brace-less for/while bodies (until ';')
+  bool pending_loop = false;        // saw for/while, inside its (...) header
+  int header_parens = 0;
+  bool awaiting_body = false;  // header closed, body token comes next
+
+  auto loop_depth = [&] {
+    int d = inline_loops;
+    for (bool b : brace_is_loop) d += b ? 1 : 0;
+    return d;
+  };
+
+  for (std::size_t t = 0; t < toks.size(); ++t) {
+    const std::string& x = toks[t].text;
+
+    if (awaiting_body) {
+      awaiting_body = false;
+      if (x == "{") {
+        brace_is_loop.push_back(true);
+        continue;
+      }
+      if (x == "for" || x == "while") {
+        // chained brace-less loop: for(..) for(..) { ... }
+        inline_loops += 1;  // outer loop's body is the inner loop statement
+      } else {
+        inline_loops += 1;  // single-statement body, runs until next ';'
+      }
+      // fall through so the current token is still processed below
+    }
+
+    if (pending_loop) {
+      if (x == "(") ++header_parens;
+      if (x == ")") {
+        --header_parens;
+        if (header_parens == 0) {
+          pending_loop = false;
+          awaiting_body = true;
+        }
+      }
+      continue;  // nothing inside a loop header is a body allocation
+    }
+
+    if (x == "for" || x == "while") {
+      pending_loop = true;
+      header_parens = 0;
+      continue;
+    }
+    if (x == "{") {
+      brace_is_loop.push_back(false);
+      continue;
+    }
+    if (x == "}") {
+      if (!brace_is_loop.empty()) brace_is_loop.pop_back();
+      continue;
+    }
+    if (x == ";") {
+      if (inline_loops > 0) inline_loops = 0;  // statement bodies all end here
+      continue;
+    }
+
+    if (loop_depth() == 0) continue;
+
+    if (x == "new" ||
+        std::find(kAllocCalls.begin(), kAllocCalls.end(), x) != kAllocCalls.end()) {
+      out->push_back({path, toks[t].line, "kernel-alloc",
+                      "'" + x + "' inside a kernel loop; allocate in resize()/setup"});
+      continue;
+    }
+    const bool member_call =
+        t > 0 && (toks[t - 1].text == "." || toks[t - 1].text == ">") &&
+        t + 1 < toks.size() && toks[t + 1].text == "(";
+    if (member_call &&
+        std::find(kGrowthCalls.begin(), kGrowthCalls.end(), x) != kGrowthCalls.end()) {
+      out->push_back({path, toks[t].line, "kernel-alloc",
+                      "container growth ('." + x +
+                          "') inside a kernel loop; preallocate in resize()/setup"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: scalar-tail — a width-strided loop (for (; i + L <= n; i += L)) in a
+// kernel file must be followed by a scalar remainder loop, or block sizes
+// that are not a multiple of the vector width silently drop cells.
+// ---------------------------------------------------------------------------
+
+/// Extracts the stride token of a vector main loop on this line ("" if the
+/// line is not one): a `for` line containing `+ X <=` and `+= X`.
+std::string stride_of(const std::string& l) {
+  if (find_word(l, "for") == std::string::npos) return "";
+  const std::size_t pe = l.find("+=");
+  if (pe == std::string::npos) return "";
+  std::size_t q = skip_ws(l, pe + 2);
+  std::size_t e = q;
+  while (e < l.size() && ident_char(l[e])) ++e;
+  if (e == q) return "";
+  const std::string stride = l.substr(q, e - q);
+  // require "+ stride <=" earlier in the line (whitespace-tolerant)
+  for (std::size_t p = l.find('+'); p != std::string::npos && p < pe;
+       p = l.find('+', p + 1)) {
+    std::size_t a = skip_ws(l, p + 1);
+    if (l.compare(a, stride.size(), stride) != 0) continue;
+    std::size_t b = skip_ws(l, a + stride.size());
+    if (l.compare(b, 2, "<=") == 0) return stride;
+  }
+  return "";
+}
+
+void rule_scalar_tail(const FileImage& img, const std::string& path,
+                      std::vector<Diagnostic>* out) {
+  if (!kernel_scope(path) && !contains(path, "src/simd/")) return;
+  constexpr std::size_t kWindow = 80;  // tail must appear within this many lines
+  for (std::size_t li = 0; li < img.code.size(); ++li) {
+    const std::string stride = stride_of(img.code[li]);
+    if (stride.empty()) continue;
+    bool tail = false;
+    for (std::size_t lj = li + 1; lj < img.code.size() && lj <= li + kWindow; ++lj) {
+      const std::string& l = img.code[lj];
+      if (find_word(l, "for") == std::string::npos) continue;
+      if (l.find("+= " + stride) != std::string::npos || !stride_of(l).empty())
+        continue;  // another vector loop, not a tail
+      if (l.find('<') != std::string::npos && l.find("++") != std::string::npos) {
+        tail = true;
+        break;
+      }
+    }
+    if (!tail)
+      out->push_back({path, static_cast<int>(li) + 1, "scalar-tail",
+                      "width-strided loop (stride '" + stride +
+                          "') has no scalar tail loop after it"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: header-guard — every header opens with #pragma once (repo idiom).
+// ---------------------------------------------------------------------------
+
+void rule_header_guard(const FileImage& img, const std::string& path,
+                       std::vector<Diagnostic>* out) {
+  if (!path.ends_with(".h")) return;
+  for (std::size_t li = 0; li < img.code.size(); ++li) {
+    const std::string t = trimmed(img.code[li]);
+    if (t.empty()) continue;
+    if (!t.starts_with("#pragma once"))
+      out->push_back({path, static_cast<int>(li) + 1, "header-guard",
+                      "header's first directive must be #pragma once"});
+    return;
+  }
+  out->push_back({path, 1, "header-guard", "empty header (no #pragma once)"});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-hygiene — no ./ or ../ relative includes (all repo includes
+// are rooted at src/), no duplicate includes.
+// ---------------------------------------------------------------------------
+
+void rule_include_hygiene(const FileImage& img, const std::string& path,
+                          std::vector<Diagnostic>* out) {
+  std::set<std::string> seen;
+  for (std::size_t li = 0; li < img.code.size(); ++li) {
+    const std::string t = trimmed(img.code[li]);
+    if (!t.starts_with("#include")) continue;
+    const int line = static_cast<int>(li) + 1;
+    const std::size_t open = t.find_first_of("\"<", 8);
+    if (open == std::string::npos) continue;  // computed include, out of scope
+    const char close_ch = t[open] == '<' ? '>' : '"';
+    const std::size_t close = t.find(close_ch, open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = t.substr(open + 1, close - open - 1);
+    if (target.starts_with("./") || target.starts_with("../") ||
+        target.find("/./") != std::string::npos ||
+        target.find("/../") != std::string::npos)
+      out->push_back({path, line, "include-hygiene",
+                      "relative #include path '" + target +
+                          "'; include repo headers rooted at src/"});
+    if (!seen.insert(target).second)
+      out->push_back({path, line, "include-hygiene", "duplicate #include of '" + target + "'"});
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kRules = {
+      "raw-io",      "kernel-alloc",   "hot-assert",       "reinterpret-cast",
+      "scalar-tail", "header-guard",   "include-hygiene",  "bad-suppression"};
+  return kRules;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path, const std::string& content) {
+  const FileImage img = scan(content);
+
+  std::vector<Suppression> sup;
+  std::vector<Diagnostic> diags;
+  parse_suppressions(img, path, &sup, &diags);
+
+  rule_raw_io(img, path, &diags);
+  rule_hot_assert(img, path, &diags);
+  rule_reinterpret_cast(img, path, &diags);
+  rule_kernel_alloc(img, path, &diags);
+  rule_scalar_tail(img, path, &diags);
+  rule_header_guard(img, path, &diags);
+  rule_include_hygiene(img, path, &diags);
+
+  // Apply suppressions: file-level kills the rule everywhere; line-level
+  // covers the annotation's own line and the line below it.
+  std::vector<Diagnostic> kept;
+  for (const Diagnostic& d : diags) {
+    bool suppressed = false;
+    if (d.rule != "bad-suppression") {
+      for (const Suppression& s : sup) {
+        if (s.rule != d.rule) continue;
+        if (s.file_level || d.line == s.line || d.line == s.line + 1) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace mpcf::lint

@@ -1,0 +1,47 @@
+// mpcf-lint: repo-specific correctness lint for the CUBISM-MPCF tree.
+//
+// A deliberately small token/AST-lite engine (no libclang): each file is
+// scanned once into per-line code text (comments, string and character
+// literals blanked so their contents can never match a rule) plus per-line
+// comment text (where suppression annotations live), and a handful of
+// repo-specific rules run over that. The rules encode invariants that keep
+// the paper claims true and that no compiler flag enforces:
+//
+//   raw-io           file writes outside src/io must go through io::SafeFile
+//   kernel-alloc     no allocation/container growth inside kernel loops
+//   hot-assert       no assert() in src/ — use MPCF_CHECK (common/check.h)
+//   reinterpret-cast reinterpret_cast only in the SIMD/io whitelist
+//   scalar-tail      width-strided kernel loops need a scalar tail loop
+//   header-guard     headers start with #pragma once
+//   include-hygiene  no ../ or ./ relative includes, no duplicate includes
+//   bad-suppression  allow() annotations must name a rule + justification
+//
+// Any diagnostic is suppressible at its line (same line or the line above)
+// with  // mpcf-lint: allow(<rule>): <justification>  or for a whole file
+// with  // mpcf-lint: allow-file(<rule>): <justification> . The
+// justification is mandatory: an allow without one is itself a diagnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpcf::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// All rule names the engine knows (valid targets for allow()).
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+/// Lints one file image. `path` drives the scope decisions (a file under
+/// src/io/ is exempt from raw-io, src/simd// and src/io/ from
+/// reinterpret-cast, only src/kernels/ + src/grid/lab.h are kernel scope),
+/// so tests can exercise scoping with synthetic paths.
+[[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& path,
+                                                const std::string& content);
+
+}  // namespace mpcf::lint

@@ -1,0 +1,91 @@
+// mpcf-lint CLI: walks the given files/directories (recursing into .h/.cpp)
+// and prints one `file:line: [rule] message` diagnostic per finding.
+// Exit code 0 = clean tree, 1 = diagnostics, 2 = usage/IO error.
+//
+// This tool lives outside the linted scope (src/, bench/, tests/), so it may
+// use plain streams for its own file reading.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> files;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+      continue;
+    }
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& e : fs::recursive_directory_iterator(arg)) {
+        if (e.is_regular_file() && lintable(e.path())) files.push_back(e.path());
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "mpcf-lint: no such file or directory: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& r : mpcf::lint::rule_names()) std::printf("%s\n", r.c_str());
+    if (files.empty()) return 0;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: mpcf-lint [--list-rules] <paths...>\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t count = 0;
+  for (const auto& f : files) {
+    std::string content;
+    if (!read_file(f, &content)) {
+      std::fprintf(stderr, "mpcf-lint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    // Lint against a generic (forward-slash) spelling so scope rules behave
+    // identically regardless of how the path was passed.
+    const auto diags = mpcf::lint::lint_file(f.generic_string(), content);
+    for (const auto& d : diags) {
+      std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                  d.message.c_str());
+    }
+    count += diags.size();
+  }
+  if (count > 0) {
+    std::printf("mpcf-lint: %zu diagnostic%s in %zu file%s\n", count,
+                count == 1 ? "" : "s", files.size(), files.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
