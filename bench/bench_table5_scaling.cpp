@@ -5,10 +5,29 @@
 // ranks are simulated in-process, so "peak" is the measured host core peak
 // and the rank axis exercises the real cluster-layer code paths (halo
 // messages, collectives, halo/interior split).
+//
+// --json [PATH] switches to the measured-vs-modeled weak-scaling sweep
+// (default PATH: BENCH_scaling.json): every rank count is run BOTH ways —
+// all ranks in one process (the in-memory oracle) and as real processes
+// through tools/mpcf-run over the shared-memory transport — and compared
+// against an analytic model built from the single-rank step time, the
+// measured halo traffic, and the host core/bandwidth budget. The MP rank
+// processes re-exec THIS binary (--worker mode) under the launcher.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "cluster/cluster_simulation.h"
+#include "cluster/transport.h"
+#include "core/profile.h"
 #include "kernels/sos.h"
 #include "kernels/update.h"
 #include "perf/microbench.h"
@@ -57,9 +76,151 @@ Result run(int rr, int bs, int blocks_per_rank_axis) {
   return res;
 }
 
+// --- measured-vs-modeled weak scaling (--json) ----------------------------
+
+constexpr int kWeakBs = 16;
+constexpr int kWeakBlocksAxis = 2;  ///< per-rank blocks per axis (weak: fixed)
+constexpr int kWeakSteps = 4;
+
+/// One weak-scaling workload over whatever transport the environment gives
+/// us: rr ranks on a rr x 1 x 1 pencil topology, identical per-rank state.
+/// Returns the wall-clock of the step loop (on this process).
+double run_weak_workload(int rr, SimComm::Stats* stats) {
+  Simulation::Params params;
+  params.extent = 1e-3 * rr;
+  ClusterSimulation cs(rr * kWeakBlocksAxis, kWeakBlocksAxis, kWeakBlocksAxis, kWeakBs,
+                       CartTopology(rr, 1, 1), params, make_env_transport(rr));
+  for (int r : cs.local_ranks())
+    mpcf::bench::init_cloud_state(cs.rank_sim(r).grid(), 4, 42 + r);
+  Timer timer;
+  for (int s = 0; s < kWeakSteps; ++s) cs.step();
+  const double seconds = timer.seconds();
+  if (stats != nullptr) *stats = cs.comm().stats();
+  return seconds;
+}
+
+/// Child mode under mpcf-run: runs the workload over the shm transport and
+/// prints the rank-0 step-loop seconds for the parent to harvest.
+int worker_main(int rr) {
+  const double seconds = run_weak_workload(rr, nullptr);
+  if (std::getenv("MPCF_RANK") != nullptr && std::atoi(std::getenv("MPCF_RANK")) == 0)
+    std::printf("STEP_SECONDS %.9f\n", seconds);
+  return 0;
+}
+
+/// Launches `mpcf-run -n rr <self> --worker rr` and parses rank 0's
+/// step-loop seconds from its stdout. Returns <0 on failure.
+double run_weak_multiprocess(const std::string& self, int rr) {
+  const std::string cmd = "OMP_NUM_THREADS=1 " + std::string(MPCF_RUN_PATH) + " -n " +
+                          std::to_string(rr) + " -- " + self + " --worker " +
+                          std::to_string(rr);
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  double seconds = -1;
+  char line[256];
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    double v = 0;
+    if (std::sscanf(line, "STEP_SECONDS %lf", &v) == 1) seconds = v;
+  }
+  const int rc = ::pclose(pipe);
+  return rc == 0 ? seconds : -1;
+}
+
+int write_scaling_json(const char* path, const std::string& self) {
+  // One OpenMP thread everywhere: the sweep isolates transport and
+  // contention effects, not the node-layer thread scaling (fig9 covers that).
+  ::setenv("OMP_NUM_THREADS", "1", 1);
+  const int cores = std::max(1u, std::thread::hardware_concurrency());
+  const double bw = perf::host_machine().mem_bw_gbs * 1e9;
+  constexpr double kMsgLatency = 2e-6;  ///< shm per-message overhead (frame+futex)
+
+  struct Point {
+    int ranks;
+    double inproc_s, mp_s, modeled_s;
+    double halo_mb_step;
+    std::uint64_t msgs;
+  };
+  std::vector<Point> pts;
+  double t1 = 0;
+  for (int rr : {1, 2, 4, 8}) {
+    Point p{};
+    p.ranks = rr;
+    SimComm::Stats stats;
+    p.inproc_s = run_weak_workload(rr, &stats);
+    p.mp_s = run_weak_multiprocess(self, rr);
+    if (p.mp_s < 0) {
+      std::fprintf(stderr, "mpcf-run sweep failed at %d ranks\n", rr);
+      return 1;
+    }
+    if (rr == 1) t1 = p.inproc_s;
+    p.halo_mb_step = static_cast<double>(stats.bytes) / kWeakSteps / 1e6;
+    p.msgs = stats.messages;
+    // Model: per-rank compute serializes over min(rr, cores) cores; every
+    // halo byte crosses DRAM twice (ring write + ring read); each message
+    // pays a fixed framing/wakeup latency. Bytes/messages are the measured
+    // totals of the whole run (the in-process oracle counts all ranks).
+    const double compute = t1 * rr / std::min(rr, cores);
+    const double comm = 2.0 * static_cast<double>(stats.bytes) / bw +
+                        kMsgLatency * static_cast<double>(stats.messages);
+    p.modeled_s = compute + comm;
+    pts.push_back(p);
+  }
+
+  // mpcf-lint: allow(raw-io): bench JSON report, not simulation data — no atomicity/integrity requirements
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"table5_scaling\",\n");
+  std::fprintf(out, "  \"mode\": \"weak\",\n");
+  std::fprintf(out,
+               "  \"per_rank\": {\"blocks\": [%d, %d, %d], \"block_size\": %d, "
+               "\"steps\": %d},\n",
+               kWeakBlocksAxis, kWeakBlocksAxis, kWeakBlocksAxis, kWeakBs, kWeakSteps);
+  std::fprintf(out, "  \"host\": {\"cores\": %d, \"mem_bw_gbs\": %.1f},\n", cores,
+               bw / 1e9);
+  std::fprintf(out, "  \"transports\": {\"inproc\": \"in-memory mailbox (oracle)\", "
+                    "\"mp\": \"mpcf-run + shm rings\"},\n");
+  std::fprintf(out,
+               "  \"efficiency_def\": \"t1*N / (tN * min(N, cores)): weak-scaling "
+               "efficiency normalized by the cores actually available\",\n");
+  std::fprintf(out, "  \"curves\": [\n");
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point& p = pts[i];
+    const auto eff = [&](double tn) {
+      return t1 * p.ranks / (tn * std::min(p.ranks, cores));
+    };
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"measured_mp_step_seconds\": %.6f, "
+                 "\"measured_inproc_step_seconds\": %.6f, "
+                 "\"modeled_step_seconds\": %.6f, \"halo_mb_per_step\": %.3f, "
+                 "\"efficiency_measured\": %.3f, \"efficiency_modeled\": %.3f}%s\n",
+                 p.ranks, p.mp_s / kWeakSteps, p.inproc_s / kWeakSteps,
+                 p.modeled_s / kWeakSteps, p.halo_mb_step, eff(p.mp_s),
+                 eff(p.modeled_s), i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker") == 0 && i + 1 < argc)
+      return worker_main(std::atoi(argv[i + 1]));
+    if (std::strcmp(argv[i], "--json") == 0) {
+      const char* path =
+          (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1] : "BENCH_scaling.json";
+      return write_scaling_json(path, argv[0]);
+    }
+  }
+
   std::puts("=== Table 5 analogue: achieved performance, weak scaling over ranks ===");
   std::printf("(blocks per rank fixed; host peak %.1f GFLOP/s)\n\n",
               perf::host_machine().peak_gflops);

@@ -3,19 +3,93 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/transport_inmemory.h"
+#include "io/checkpoint.h"
+#include "io/safe_file.h"
+
 namespace mpcf::cluster {
 
 namespace {
 
-/// Message tags encode axis and the receiver-side of the face.
-int tag_of(int axis, int receiver_side) { return axis * 2 + receiver_side; }
+[[nodiscard]] std::shared_ptr<Transport> or_in_memory(std::shared_ptr<Transport> t,
+                                                      int nranks) {
+  if (t) return t;
+  return std::make_shared<InMemoryTransport>(nranks);
+}
+
+/// Wire form of the cluster clock (kTagClock broadcast on restart).
+[[nodiscard]] std::vector<float> pack_clock(double time, long steps) {
+  std::vector<std::uint8_t> b;
+  io::put_bytes(b, time);
+  io::put_bytes(b, static_cast<std::int64_t>(steps));
+  return pack_bytes(b);
+}
+
+[[nodiscard]] io::CheckpointClock unpack_clock(const std::vector<float>& msg) {
+  const std::vector<std::uint8_t> b = unpack_bytes(msg);
+  io::Cursor cur(b);
+  io::CheckpointClock clock;
+  clock.time = cur.get<double>();
+  clock.steps = static_cast<long>(cur.get<std::int64_t>());
+  return clock;
+}
+
+/// Wire form of one rank's collective-dump contribution (kTagDump):
+/// the exscan offset, the encoder's level count, and the streams.
+[[nodiscard]] std::vector<float> pack_rank_streams(const compression::RankStreams& part,
+                                                   int levels) {
+  std::vector<std::uint8_t> b;
+  io::put_bytes(b, part.offset);
+  io::put_bytes(b, static_cast<std::int32_t>(levels));
+  io::put_bytes(b, static_cast<std::uint64_t>(part.streams.size()));
+  for (const auto& s : part.streams) {
+    io::put_bytes(b, static_cast<std::uint64_t>(s.block_ids.size()));
+    io::put_bytes(b, static_cast<std::uint64_t>(s.data.size()));
+    io::put_bytes(b, s.raw_bytes);
+    // mpcf-lint: allow(reinterpret-cast): block-id array serialized as raw little-endian bytes
+    const auto* ids = reinterpret_cast<const std::uint8_t*>(s.block_ids.data());
+    b.insert(b.end(), ids, ids + s.block_ids.size() * sizeof(std::uint32_t));
+    b.insert(b.end(), s.data.begin(), s.data.end());
+  }
+  return pack_bytes(b);
+}
+
+[[nodiscard]] compression::RankStreams unpack_rank_streams(int rank,
+                                                           const std::vector<float>& msg,
+                                                           int* levels) {
+  const std::vector<std::uint8_t> b = unpack_bytes(msg);
+  io::Cursor cur(b);
+  compression::RankStreams part;
+  part.rank = rank;
+  part.offset = cur.get<std::uint64_t>();
+  *levels = cur.get<std::int32_t>();
+  const std::uint64_t nstreams = cur.get<std::uint64_t>();
+  part.streams.resize(nstreams);
+  for (auto& s : part.streams) {
+    const std::uint64_t nids = cur.get<std::uint64_t>();
+    const std::uint64_t ndata = cur.get<std::uint64_t>();
+    s.raw_bytes = cur.get<std::uint64_t>();
+    s.block_ids.resize(nids);
+    cur.read(s.block_ids.data(), nids * sizeof(std::uint32_t));
+    s.data.resize(ndata);
+    cur.read(s.data.data(), ndata);
+  }
+  return part;
+}
 
 }  // namespace
 
-ClusterSimulation::ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopology topo,
-                                     Simulation::Params params)
-    : topo_(topo), comm_(topo.size()), bs_(bs), gbx_(gbx), gby_(gby), gbz_(gbz),
-      global_bc_(params.bc) {
+ClusterSimulation::ClusterSimulation(int gbx, int gby, int gbz, int bs,
+                                     CartTopology topo, Simulation::Params params)
+    : ClusterSimulation(gbx, gby, gbz, bs, topo, params, nullptr) {}
+
+ClusterSimulation::ClusterSimulation(int gbx, int gby, int gbz, int bs,
+                                     CartTopology topo, Simulation::Params params,
+                                     std::shared_ptr<Transport> transport)
+    : topo_(topo), comm_(or_in_memory(std::move(transport), topo.size())), bs_(bs),
+      gbx_(gbx), gby_(gby), gbz_(gbz), global_bc_(params.bc) {
+  require(comm_.size() == topo.size(),
+          "ClusterSimulation: transport rank count does not match the topology");
   require(gbx % topo.rx == 0 && gby % topo.ry == 0 && gbz % topo.rz == 0,
           "ClusterSimulation: block grid must divide evenly across ranks");
   for (int a = 0; a < 3; ++a)
@@ -23,20 +97,30 @@ ClusterSimulation::ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopo
                 global_bc_.face[a][1] == BCType::kPeriodic,
             "ClusterSimulation: periodic BCs must be two-sided");
 
+  local_ = comm_.local_ranks();
+  require(!local_.empty(), "ClusterSimulation: transport drives no local rank");
+
   const int lbx = gbx / topo.rx, lby = gby / topo.ry, lbz = gbz / topo.rz;
   const double rank_extent = params.extent * lbx / gbx;
 
-  sims_.reserve(topo.size());
+  sims_.resize(topo.size());
   boxes_.resize(topo.size());
   interior_.resize(topo.size());
   halo_.resize(topo.size());
   halo_slabs_.resize(topo.size());
 
+  // Geometry exists for every rank (gather/scatter address remote boxes);
+  // node-layer state only for the local ones.
   for (int r = 0; r < topo.size(); ++r) {
     int cx, cy, cz;
     topo.coords(r, cx, cy, cz);
     boxes_[r] = RankBox{cx * lbx * bs, cy * lby * bs, cz * lbz * bs,
                         lbx * bs, lby * bs, lbz * bs};
+  }
+
+  for (const int r : local_) {
+    int cx, cy, cz;
+    topo.coords(r, cx, cy, cz);
 
     // Rank-local BCs: global BCs survive only on faces that lie on the
     // global boundary (used by the wall diagnostics); interior faces are
@@ -49,7 +133,7 @@ ClusterSimulation::ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopo
       if (coords[a] != 0) rp.bc.face[a][0] = BCType::kAbsorbing;
       if (coords[a] != extents[a] - 1) rp.bc.face[a][1] = BCType::kAbsorbing;
     }
-    sims_.push_back(std::make_unique<Simulation>(lbx, lby, lbz, bs, rp));
+    sims_[r] = std::make_unique<Simulation>(lbx, lby, lbz, bs, rp);
     sims_[r]->set_ghost_override([this, r](int lx, int ly, int lz, Cell& c) {
       const RankBox& box = boxes_[r];
       return fetch_remote(r, lx + box.ox, ly + box.oy, lz + box.oz, c);
@@ -65,15 +149,30 @@ ClusterSimulation::ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopo
       g.indexer().coords(i, bxc, byc, bzc);
       const int bcoord[3] = {bxc, byc, bzc};
       const int bext[3] = {lbx, lby, lbz};
-      bool is_halo = false;
-      for (int a = 0; a < 3 && !is_halo; ++a) {
-        if (bcoord[a] == 0 && topo_.neighbor(r, a, 0, periodic[a]) >= 0) is_halo = true;
+      bool is_halo_block = false;
+      for (int a = 0; a < 3 && !is_halo_block; ++a) {
+        if (bcoord[a] == 0 && topo_.neighbor(r, a, 0, periodic[a]) >= 0)
+          is_halo_block = true;
         if (bcoord[a] == bext[a] - 1 && topo_.neighbor(r, a, 1, periodic[a]) >= 0)
-          is_halo = true;
+          is_halo_block = true;
       }
-      (is_halo ? halo_[r] : interior_[r]).push_back(i);
+      (is_halo_block ? halo_[r] : interior_[r]).push_back(i);
     }
   }
+}
+
+Simulation& ClusterSimulation::rank_sim(int r) {
+  require(r >= 0 && r < topo_.size() && sims_[r] != nullptr,
+          "ClusterSimulation::rank_sim: rank " + std::to_string(r) +
+              " is not local to this process");
+  return *sims_[r];
+}
+
+const Simulation& ClusterSimulation::rank_sim(int r) const {
+  require(r >= 0 && r < topo_.size() && sims_[r] != nullptr,
+          "ClusterSimulation::rank_sim: rank " + std::to_string(r) +
+              " is not local to this process");
+  return *sims_[r];
 }
 
 bool ClusterSimulation::fetch_remote(int rank, int gx, int gy, int gz, Cell& out) const {
@@ -180,42 +279,78 @@ void ClusterSimulation::pack_rank_sends(int r) {
             const Cell& cell = g.cell(lc[0], lc[1], lc[2]);
             for (int q = 0; q < kNumQuantities; ++q) msg[o++] = cell.q(q);
           }
-      // The receiver sees this data on its side (1-s) of axis a.
-      comm_.send(r, nr, tag_of(a, 1 - s), std::move(msg));
+      // The receiver sees this data on its side (1-s) of axis a, in the
+      // current stage's epoch.
+      comm_.send(r, nr, halo_tag(a, 1 - s, epoch_), std::move(msg));
     }
 }
 
 void ClusterSimulation::post_halo_sends() {
-  // All sends, in rank order (non-blocking in the paper; enqueued here).
-  for (int r = 0; r < topo_.size(); ++r) pack_rank_sends(r);
+  // All local sends, in rank order (non-blocking in the paper; enqueued here).
+  for (const int r : local_) pack_rank_sends(r);
+}
+
+void ClusterSimulation::unpack_halo_slab(int r, int axis, int side,
+                                         const std::vector<float>& msg) {
+  const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
+  int dims[3] = {n[0], n[1], n[2]};
+  dims[axis] = kGhosts;
+  auto& slab = halo_slabs_[r][axis * 2 + side];
+  slab.resize(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2]);
+  require(msg.size() == slab.size() * kNumQuantities,
+          "exchange_halos: message size mismatch");
+  std::size_t o = 0;
+  for (auto& cell : slab)
+    for (int q = 0; q < kNumQuantities; ++q) cell.q(q) = msg[o++];
 }
 
 void ClusterSimulation::drain_halos(int r) {
+  struct Face {
+    int axis, side, nr;
+  };
   const bool periodic[3] = {global_bc_.face[0][0] == BCType::kPeriodic,
                             global_bc_.face[1][0] == BCType::kPeriodic,
                             global_bc_.face[2][0] == BCType::kPeriodic};
-  const int n[3] = {boxes_[r].nx, boxes_[r].ny, boxes_[r].nz};
+  std::vector<Face> pending;
   for (int a = 0; a < 3; ++a)
     for (int s = 0; s < 2; ++s) {
       const int nr = topo_.neighbor(r, a, s, periodic[a]);
-      if (nr < 0) continue;
-      const std::vector<float> msg = comm_.recv(nr, r, tag_of(a, s));
-      int dims[3] = {n[0], n[1], n[2]};
-      dims[a] = kGhosts;
-      auto& slab = halo_slabs_[r][a * 2 + s];
-      slab.resize(static_cast<std::size_t>(dims[0]) * dims[1] * dims[2]);
-      require(msg.size() == slab.size() * kNumQuantities,
-              "exchange_halos: message size mismatch");
-      std::size_t o = 0;
-      for (auto& cell : slab)
-        for (int q = 0; q < kNumQuantities; ++q) cell.q(q) = msg[o++];
+      if (nr >= 0) pending.push_back(Face{a, s, nr});
     }
+
+  // Arrival-order drain: atomically pop whichever face already has its slab
+  // (try_recv — a probe/recv pair would race against concurrent drains of
+  // the same flow), and block — visibly, as a kWait span — only when nothing
+  // is deliverable. The blocking recv carries the transport timeout, so a
+  // lost message is a diagnosed TransportError, never a silent hang.
+  std::vector<float> msg;
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < pending.size();) {
+      const Face f = pending[i];
+      if (comm_.try_recv(f.nr, r, halo_tag(f.axis, f.side, epoch_), msg)) {
+        unpack_halo_slab(r, f.axis, f.side, msg);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (!progressed && !pending.empty()) {
+      const Face f = pending.front();
+      perf::TraceSpan span(tracer_, perf::TracePhase::kWait, r);
+      unpack_halo_slab(r, f.axis, f.side,
+                       comm_.recv(f.nr, r, halo_tag(f.axis, f.side, epoch_)));
+      pending.erase(pending.begin());
+    }
+  }
 }
 
 void ClusterSimulation::exchange_halos() {
   Timer timer;
+  ++epoch_;
   post_halo_sends();
-  for (int r = 0; r < topo_.size(); ++r) {
+  for (const int r : local_) {
     perf::TraceSpan span(tracer_, perf::TracePhase::kExchange, r);
     drain_halos(r);
   }
@@ -236,6 +371,7 @@ void ClusterSimulation::advance_stage_overlapped(double a_coeff) {
   // bitwise-deterministic: packs only read cell data, RHS tasks only write
   // their own block's accumulator, drains only write their own rank's
   // slabs, and cells/slabs stay stable until the post-region update phase.
+  ++epoch_;
   const int nranks = topo_.size();
   const bool periodic[3] = {global_bc_.face[0][0] == BCType::kPeriodic,
                             global_bc_.face[1][0] == BCType::kPeriodic,
@@ -247,12 +383,12 @@ void ClusterSimulation::advance_stage_overlapped(double a_coeff) {
   (void)pk;  // referenced only inside `depend` clauses; silence -Wunused
   // The task region drives evaluate_rhs_block directly, bypassing
   // evaluate_rhs and its lazy workspace growth — grow here, serially.
-  for (int r = 0; r < nranks; ++r) sims_[r]->ensure_thread_workspaces();
+  for (const int r : local_) sims_[r]->ensure_thread_workspaces();
   Timer region;
 #pragma omp parallel
 #pragma omp single
   {
-    for (int r = 0; r < nranks; ++r) {
+    for (const int r : local_) {
       for (const int bi : interior_[r]) {
 #pragma omp task firstprivate(r, bi) shared(rank_rhs)
         {
@@ -271,14 +407,17 @@ void ClusterSimulation::advance_stage_overlapped(double a_coeff) {
         comm_secs += sec;
       }
     }
-    for (int r = 0; r < nranks; ++r) {
-      // A drain needs its six neighbours' sends posted; missing neighbours
-      // alias the rank's own pack slot (a benign extra dependence).
+    for (const int r : local_) {
+      // A drain needs its six LOCAL neighbours' sends posted; remote and
+      // missing neighbours alias the rank's own pack slot — which also
+      // guarantees the drain of a multi-process rank starts only after its
+      // own sends are posted, so two single-thread processes can never sit
+      // in each other's blocking recv with their packs still queued.
       int nb[6];
       for (int a = 0; a < 3; ++a)
         for (int s = 0; s < 2; ++s) {
           const int n = topo_.neighbor(r, a, s, periodic[a]);
-          nb[a * 2 + s] = n >= 0 ? n : r;
+          nb[a * 2 + s] = n >= 0 && comm_.is_local(n) ? n : r;
         }
 #pragma omp task firstprivate(r) shared(rank_rhs, comm_secs) \
     depend(in : pk[nb[0]], pk[nb[1]], pk[nb[2]], pk[nb[3]], pk[nb[4]], pk[nb[5]])
@@ -315,19 +454,20 @@ void ClusterSimulation::advance_stage_overlapped(double a_coeff) {
   double total = comm_secs;
   for (const double sec : rank_rhs) total += sec;
   if (total > 0)
-    for (int r = 0; r < nranks; ++r)
+    for (const int r : local_)
       sims_[r]->profile().rhs += wall * rank_rhs[r] / total;
 }
 
 double ClusterSimulation::compute_dt() {
-  std::vector<double> vmax(topo_.size());
-  for (int r = 0; r < topo_.size(); ++r) {
+  std::vector<double> vmax;
+  vmax.reserve(local_.size());
+  for (const int r : local_) {
     perf::TraceSpan span(tracer_, perf::TracePhase::kReduce, r);
     const double dt_r = sims_[r]->compute_dt();
-    vmax[r] = sims_[r]->params().cfl * sims_[r]->grid().h() / dt_r;
+    vmax.push_back(sims_[r]->params().cfl * sims_[r]->grid().h() / dt_r);
   }
   const double gmax = comm_.allreduce_max(vmax);
-  return sims_[0]->params().cfl * sims_[0]->grid().h() / gmax;
+  return front_sim().params().cfl * front_sim().grid().h() / gmax;
 }
 
 void ClusterSimulation::advance(double dt) {
@@ -338,21 +478,21 @@ void ClusterSimulation::advance(double dt) {
       exchange_halos();
       // Interior blocks run "while halo messages are in flight" (here the
       // exchange already completed: the sequential fallback schedule).
-      for (int r = 0; r < topo_.size(); ++r) {
+      for (const int r : local_) {
         perf::TraceSpan span(tracer_, perf::TracePhase::kInterior, r);
         sims_[r]->evaluate_rhs(LsRk3::a[s], &interior_[r]);
       }
-      for (int r = 0; r < topo_.size(); ++r) {
+      for (const int r : local_) {
         perf::TraceSpan span(tracer_, perf::TracePhase::kHalo, r);
         sims_[r]->evaluate_rhs(LsRk3::a[s], &halo_[r]);
       }
     }
-    for (int r = 0; r < topo_.size(); ++r) {
+    for (const int r : local_) {
       perf::TraceSpan span(tracer_, perf::TracePhase::kUpdate, r);
       sims_[r]->update(LsRk3::b[s] * dt);
     }
   }
-  for (int r = 0; r < topo_.size(); ++r)
+  for (const int r : local_)
     if (sims_[r]->params().rho_floor > 0 || sims_[r]->params().p_floor > 0)
       sims_[r]->apply_positivity_guard();
   time_ += dt;
@@ -365,11 +505,43 @@ double ClusterSimulation::step() {
   return dt;
 }
 
+namespace {
+
+/// Copies a rank box between a global grid and a dense float message
+/// (x-fastest, kNumQuantities per cell — the kTagGather/kTagScatter wire
+/// form).
+void box_to_msg(const Grid& g, int ox, int oy, int oz, int nx, int ny, int nz,
+                std::vector<float>& msg) {
+  msg.resize(static_cast<std::size_t>(nx) * ny * nz * kNumQuantities);
+  std::size_t o = 0;
+  for (int iz = 0; iz < nz; ++iz)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int ix = 0; ix < nx; ++ix) {
+        const Cell& c = g.cell(ox + ix, oy + iy, oz + iz);
+        for (int q = 0; q < kNumQuantities; ++q) msg[o++] = c.q(q);
+      }
+}
+
+void msg_to_box(Grid& g, int ox, int oy, int oz, int nx, int ny, int nz,
+                const std::vector<float>& msg) {
+  require(msg.size() == static_cast<std::size_t>(nx) * ny * nz * kNumQuantities,
+          "ClusterSimulation: rank box message size mismatch");
+  std::size_t o = 0;
+  for (int iz = 0; iz < nz; ++iz)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int ix = 0; ix < nx; ++ix) {
+        Cell& c = g.cell(ox + ix, oy + iy, oz + iz);
+        for (int q = 0; q < kNumQuantities; ++q) c.q(q) = msg[o++];
+      }
+}
+
+}  // namespace
+
 void ClusterSimulation::gather(Grid& global) const {
   require(global.cells_x() == gbx_ * bs_ && global.cells_y() == gby_ * bs_ &&
               global.cells_z() == gbz_ * bs_,
           "gather: global grid shape mismatch");
-  for (int r = 0; r < topo_.size(); ++r) {
+  for (const int r : local_) {
     const RankBox& box = boxes_[r];
     const Grid& g = sims_[r]->grid();
     for (int iz = 0; iz < box.nz; ++iz)
@@ -377,37 +549,93 @@ void ClusterSimulation::gather(Grid& global) const {
         for (int ix = 0; ix < box.nx; ++ix)
           global.cell(box.ox + ix, box.oy + iy, box.oz + iz) = g.cell(ix, iy, iz);
   }
+  if (static_cast<int>(local_.size()) == topo_.size()) return;
+
+  // Multi-process: remote boxes converge on rank 0 through the transport.
+  if (comm_.is_local(0)) {
+    std::vector<float> msg;
+    for (int r = 0; r < topo_.size(); ++r) {
+      if (comm_.is_local(r)) continue;
+      msg = comm_.recv(r, 0, kTagGather);
+      const RankBox& box = boxes_[r];
+      msg_to_box(global, box.ox, box.oy, box.oz, box.nx, box.ny, box.nz, msg);
+    }
+  } else {
+    std::vector<float> msg;
+    for (const int r : local_) {
+      const RankBox& box = boxes_[r];
+      box_to_msg(sims_[r]->grid(), 0, 0, 0, box.nx, box.ny, box.nz, msg);
+      comm_.send(r, 0, kTagGather, msg);
+    }
+  }
 }
 
 void ClusterSimulation::scatter(const Grid& global) {
-  require(global.cells_x() == gbx_ * bs_ && global.cells_y() == gby_ * bs_ &&
-              global.cells_z() == gbz_ * bs_,
-          "scatter: global grid shape mismatch");
-  for (int r = 0; r < topo_.size(); ++r) {
-    const RankBox& box = boxes_[r];
-    Grid& g = sims_[r]->grid();
-    for (int iz = 0; iz < box.nz; ++iz)
-      for (int iy = 0; iy < box.ny; ++iy)
-        for (int ix = 0; ix < box.nx; ++ix)
-          g.cell(ix, iy, iz) = global.cell(box.ox + ix, box.oy + iy, box.oz + iz);
+  if (comm_.is_local(0)) {
+    require(global.cells_x() == gbx_ * bs_ && global.cells_y() == gby_ * bs_ &&
+                global.cells_z() == gbz_ * bs_,
+            "scatter: global grid shape mismatch");
+    for (const int r : local_) {
+      const RankBox& box = boxes_[r];
+      Grid& g = sims_[r]->grid();
+      for (int iz = 0; iz < box.nz; ++iz)
+        for (int iy = 0; iy < box.ny; ++iy)
+          for (int ix = 0; ix < box.nx; ++ix)
+            g.cell(ix, iy, iz) = global.cell(box.ox + ix, box.oy + iy, box.oz + iz);
+    }
+    std::vector<float> msg;
+    for (int r = 0; r < topo_.size(); ++r) {
+      if (comm_.is_local(r)) continue;
+      const RankBox& box = boxes_[r];
+      box_to_msg(global, box.ox, box.oy, box.oz, box.nx, box.ny, box.nz, msg);
+      comm_.send(0, r, kTagScatter, msg);
+    }
+  } else {
+    for (const int r : local_) {
+      const RankBox& box = boxes_[r];
+      const std::vector<float> msg = comm_.recv(0, r, kTagScatter);
+      msg_to_box(sims_[r]->grid(), 0, 0, 0, box.nx, box.ny, box.nz, msg);
+    }
   }
 }
 
 std::uint64_t ClusterSimulation::save_checkpoint(const std::string& path) const {
-  const double extent = sims_[0]->grid().h() * gbx_ * bs_;
+  const double extent = front_sim().grid().h() * gbx_ * bs_;
   Grid global(gbx_, gby_, gbz_, bs_, extent);
   gather(global);
-  return io::save_grid_checkpoint(path, global, time_, steps_);
+  std::uint64_t bytes = 0;
+  if (comm_.is_local(0)) bytes = io::save_grid_checkpoint(path, global, time_, steps_);
+  if (static_cast<int>(local_.size()) == topo_.size()) return bytes;
+  // Multi-process: the reduction both publishes root's byte count and acts
+  // as the barrier that makes the committed file visible before any rank
+  // returns.
+  std::vector<double> contrib(local_.size(), 0.0);
+  for (std::size_t i = 0; i < local_.size(); ++i)
+    if (local_[i] == 0) contrib[i] = static_cast<double>(bytes);
+  return static_cast<std::uint64_t>(comm_.allreduce_max(contrib));
 }
 
 void ClusterSimulation::load_checkpoint(const std::string& path) {
-  const double extent = sims_[0]->grid().h() * gbx_ * bs_;
+  const double extent = front_sim().grid().h() * gbx_ * bs_;
   Grid global(gbx_, gby_, gbz_, bs_, extent);
-  const io::CheckpointClock clock = io::load_grid_checkpoint(path, global);
+  io::CheckpointClock clock;
+  const bool in_process = static_cast<int>(local_.size()) == topo_.size();
+  if (comm_.is_local(0)) {
+    clock = io::load_grid_checkpoint(path, global);
+    if (!in_process)
+      for (int r = 0; r < topo_.size(); ++r)
+        if (!comm_.is_local(r))
+          comm_.send(0, r, kTagClock, pack_clock(clock.time, clock.steps));
+  } else {
+    clock = unpack_clock(comm_.recv(0, local_.front(), kTagClock));
+  }
   scatter(global);
-  for (auto& sim : sims_) sim->restore_clock(clock.time, clock.steps);
+  for (const int r : local_) sims_[r]->restore_clock(clock.time, clock.steps);
   time_ = clock.time;
   steps_ = clock.steps;
+  // epoch_ deliberately survives: restarting to an earlier step must never
+  // regress halo tags (the MPCF_CHECKED monotonicity guard would trip, and
+  // an in-flight late message could alias a re-run stage).
 }
 
 std::string ClusterSimulation::save_checkpoint_rotating(io::CheckpointRotator& rot) {
@@ -429,15 +657,34 @@ std::string ClusterSimulation::load_latest_valid_checkpoint(
 }
 
 Diagnostics ClusterSimulation::diagnostics(double G_vapor, double G_liquid) const {
+  std::vector<Diagnostics> per;
+  per.reserve(local_.size());
+  for (const int r : local_) per.push_back(sims_[r]->diagnostics(G_vapor, G_liquid));
+
   Diagnostics total;
-  for (int r = 0; r < topo_.size(); ++r) {
-    const Diagnostics d = sims_[r]->diagnostics(G_vapor, G_liquid);
-    total.max_p_field = std::max(total.max_p_field, d.max_p_field);
-    total.max_p_wall = std::max(total.max_p_wall, d.max_p_wall);
-    total.kinetic_energy += d.kinetic_energy;
-    total.total_energy += d.total_energy;
-    total.mass += d.mass;
-    total.vapor_volume += d.vapor_volume;
+  if (static_cast<int>(local_.size()) == topo_.size()) {
+    for (const Diagnostics& d : per) {
+      total.max_p_field = std::max(total.max_p_field, d.max_p_field);
+      total.max_p_wall = std::max(total.max_p_wall, d.max_p_wall);
+      total.kinetic_energy += d.kinetic_energy;
+      total.total_energy += d.total_energy;
+      total.mass += d.mass;
+      total.vapor_volume += d.vapor_volume;
+    }
+  } else {
+    // Multi-process: component-wise collectives; the rank-order sum keeps
+    // the result bitwise-identical to the in-process accumulation.
+    const auto field = [&](double Diagnostics::* m) {
+      std::vector<double> v(per.size());
+      for (std::size_t i = 0; i < per.size(); ++i) v[i] = per[i].*m;
+      return v;
+    };
+    total.max_p_field = comm_.allreduce_max(field(&Diagnostics::max_p_field));
+    total.max_p_wall = comm_.allreduce_max(field(&Diagnostics::max_p_wall));
+    total.kinetic_energy = comm_.allreduce_sum(field(&Diagnostics::kinetic_energy));
+    total.total_energy = comm_.allreduce_sum(field(&Diagnostics::total_energy));
+    total.mass = comm_.allreduce_sum(field(&Diagnostics::mass));
+    total.vapor_volume = comm_.allreduce_sum(field(&Diagnostics::vapor_volume));
   }
   total.equivalent_radius = std::cbrt(3.0 * total.vapor_volume / (4.0 * M_PI));
   return total;
@@ -456,10 +703,13 @@ compression::CompressedQuantity ClusterSimulation::compress_collective(
   global.quantity = params.quantity;
 
   const BlockIndexer gindex(gbx_, gby_, gbz_);
-  std::vector<std::uint64_t> rank_bytes(topo_.size());
+  std::vector<compression::RankStreams> parts;
+  parts.reserve(local_.size());
+  std::vector<std::uint64_t> local_bytes;
+  local_bytes.reserve(local_.size());
   if (times) times->clear();
 
-  for (int r = 0; r < topo_.size(); ++r) {
+  for (const int r : local_) {
     perf::TraceSpan span(tracer_, perf::TracePhase::kDump, r);
     std::vector<compression::WorkerTimes> rank_times;
     auto cq = compression::compress_quantity(sims_[r]->grid(), params,
@@ -470,27 +720,53 @@ compression::CompressedQuantity ClusterSimulation::compress_collective(
     const int obx = cx * (gbx_ / topo_.rx), oby = cy * (gby_ / topo_.ry),
               obz = cz * (gbz_ / topo_.rz);
     const BlockIndexer lindex(gbx_ / topo_.rx, gby_ / topo_.ry, gbz_ / topo_.rz);
+    std::uint64_t bytes = 0;
     for (auto& stream : cq.streams) {
       for (auto& id : stream.block_ids) {
         int lx, ly, lz;
         lindex.coords(static_cast<int>(id), lx, ly, lz);
         id = static_cast<std::uint32_t>(gindex.linear(obx + lx, oby + ly, obz + lz));
       }
-      rank_bytes[r] += stream.data.size();
-      global.streams.push_back(std::move(stream));
+      bytes += stream.data.size();
     }
+    parts.push_back(compression::RankStreams{r, 0, std::move(cq.streams)});
+    local_bytes.push_back(bytes);
     if (times) times->insert(times->end(), rank_times.begin(), rank_times.end());
   }
+
   // The collective write orders rank blobs by the exclusive prefix sum of
-  // their encoded sizes (the MPI_Exscan of the paper); the file writer
-  // applies the same discipline over the concatenated streams.
-  (void)comm_.exscan(rank_bytes);
+  // their encoded sizes (the MPI_Exscan of the paper): the scanned offsets
+  // — not rank completion order — decide where each blob lands.
+  const std::vector<std::uint64_t> offsets = comm_.exscan(local_bytes);
+  for (std::size_t i = 0; i < parts.size(); ++i) parts[i].offset = offsets[i];
+
+  if (static_cast<int>(local_.size()) == topo_.size()) {
+    compression::assemble_collective(global, std::move(parts));
+    return global;
+  }
+
+  // Multi-process: streams converge on rank 0 in arrival order; the scanned
+  // offsets restore the file order during assembly.
+  if (comm_.is_local(0)) {
+    std::vector<float> msg;
+    for (int r = 0; r < topo_.size(); ++r) {
+      if (comm_.is_local(r)) continue;
+      msg = comm_.recv(r, 0, kTagDump);
+      int levels = 0;
+      parts.push_back(unpack_rank_streams(r, msg, &levels));
+      global.levels = levels;
+    }
+    compression::assemble_collective(global, std::move(parts));
+  } else {
+    for (const auto& part : parts)
+      comm_.send(part.rank, 0, kTagDump, pack_rank_streams(part, global.levels));
+  }
   return global;
 }
 
 StepProfile ClusterSimulation::profile() const {
   StepProfile total;
-  for (int r = 0; r < topo_.size(); ++r) {
+  for (const int r : local_) {
     const StepProfile& p = sims_[r]->profile();
     total.rhs += p.rhs;
     total.dt += p.dt;

@@ -1,13 +1,21 @@
 // Cluster-layer simulation (paper Section 6): the global domain is split
-// into cartesian subdomains, one per (simulated) rank. Each rank runs a
-// node-layer Simulation on its subgrid; ghost information crosses rank
-// boundaries as six face-slab messages of three cell layers per Runge-Kutta
-// stage. Blocks are split into halo and interior sets, and the step loop
-// runs the paper's overlap pipeline: post halo sends, evaluate interior
-// blocks while messages are "in flight", drain the halos, then evaluate the
-// halo blocks — scheduled as OpenMP tasks so interior compute and halo
-// processing interleave across ranks. Every phase emits tracing spans
-// (perf::Tracer) for per-rank aggregates and chrome://tracing export.
+// into cartesian subdomains, one per rank. Each rank runs a node-layer
+// Simulation on its subgrid; ghost information crosses rank boundaries as
+// six face-slab messages of three cell layers per Runge-Kutta stage. Blocks
+// are split into halo and interior sets, and the step loop runs the paper's
+// overlap pipeline: post halo sends, evaluate interior blocks while messages
+// are "in flight", drain the halos, then evaluate the halo blocks —
+// scheduled as OpenMP tasks so interior compute and halo processing
+// interleave across ranks. Every phase emits tracing spans (perf::Tracer)
+// for per-rank aggregates and chrome://tracing export.
+//
+// Rank locality: the simulation drives exactly the ranks its transport
+// declares local (Transport::local_ranks). On the default in-memory
+// transport that is every rank — the historical all-in-one-process mode.
+// Under tools/mpcf-run each process holds ONE rank over the shared-memory
+// transport, and all cross-rank traffic (halos, gather/scatter, checkpoint,
+// collective dump, DT reduction) moves through the transport; no code path
+// touches a sibling rank's grid directly.
 #pragma once
 
 #include <array>
@@ -27,14 +35,32 @@ class ClusterSimulation {
  public:
   /// Global grid of gbx*gby*gbz blocks of bs^3 cells, decomposed across a
   /// topo.rx*topo.ry*topo.rz rank topology (block counts must divide evenly).
+  /// Runs every rank in-process over the in-memory transport.
   ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopology topo,
                     Simulation::Params params);
 
+  /// Same decomposition over an explicit transport; the simulation drives
+  /// only transport->local_ranks() (one rank per process under mpcf-run).
+  ClusterSimulation(int gbx, int gby, int gbz, int bs, CartTopology topo,
+                    Simulation::Params params, std::shared_ptr<Transport> transport);
+
   [[nodiscard]] int rank_count() const noexcept { return topo_.size(); }
-  [[nodiscard]] Simulation& rank_sim(int r) { return *sims_[r]; }
+  /// The node-layer simulation of a LOCAL rank (throws for remote ranks:
+  /// their state lives in another process).
+  [[nodiscard]] Simulation& rank_sim(int r);
+  [[nodiscard]] const Simulation& rank_sim(int r) const;
+  /// Ranks driven by this process, ascending.
+  [[nodiscard]] const std::vector<int>& local_ranks() const noexcept { return local_; }
+  [[nodiscard]] bool is_local(int r) const noexcept { return comm_.is_local(r); }
   [[nodiscard]] const CartTopology& topology() const noexcept { return topo_; }
   [[nodiscard]] SimComm& comm() noexcept { return comm_; }
   [[nodiscard]] double time() const noexcept { return time_; }
+
+  /// Halo tag epoch: bumped once per RK stage exchange so a fast rank's
+  /// sends can never alias a neighbour's undrained previous stage. Advances
+  /// in lockstep on all ranks; deliberately NOT part of a checkpoint (a
+  /// restart must not regress it).
+  [[nodiscard]] long halo_epoch() const noexcept { return epoch_; }
 
   /// Toggles the overlapped (task-based) step schedule. Both schedules are
   /// bitwise-identical in their results; overlap off exists for the stall
@@ -53,22 +79,28 @@ class ClusterSimulation {
   double step();
 
   /// Copies the distributed state into a single global grid (shape must be
-  /// gbx x gby x gbz blocks of the same block size).
+  /// gbx x gby x gbz blocks of the same block size). Multi-process: remote
+  /// boxes are shipped to rank 0, so only the process owning rank 0 ends up
+  /// with the complete grid; other processes fill just their own boxes.
   void gather(Grid& global) const;
 
   /// Inverse of gather: distributes a global grid across the rank subgrids.
+  /// Multi-process: the process owning rank 0 reads `global` and ships each
+  /// remote rank its box; other processes ignore their `global` argument.
   void scatter(const Grid& global);
 
   /// Checkpoints the gathered global state + cluster clock into one
   /// atomic, CRC-protected file (same format as the node layer; a cluster
   /// checkpoint restores into any topology of the same global shape).
-  /// Returns bytes written.
+  /// Multi-process: rank 0's process writes the file; the call is
+  /// collective and every process returns the written byte count.
   std::uint64_t save_checkpoint(const std::string& path) const;
 
   /// Restores a checkpoint written by save_checkpoint (or the node layer's
   /// save_checkpoint of an identically shaped grid): scatters the state and
   /// restores every rank clock. Throws PreconditionError on any mismatch,
-  /// truncation, or CRC failure.
+  /// truncation, or CRC failure. Multi-process: rank 0's process reads the
+  /// file and broadcasts state + clock.
   void load_checkpoint(const std::string& path);
 
   /// Rotating retention: saves through `rot` at the current step count and
@@ -83,17 +115,21 @@ class ClusterSimulation {
   std::string load_latest_valid_checkpoint(io::CheckpointRotator& rot,
                                            std::vector<std::string>* skipped = nullptr);
 
-  /// Reduction of the per-rank diagnostics.
+  /// Reduction of the per-rank diagnostics (collective in multi-process
+  /// mode; every process returns the same global values).
   [[nodiscard]] Diagnostics diagnostics(double G_vapor, double G_liquid) const;
 
   /// Compresses one quantity across all ranks into a single dump whose
-  /// streams carry global block ids; stream offsets in the file come from
-  /// the exclusive prefix sum (collective dump, paper Section 6).
+  /// streams carry global block ids; the streams land in the order given by
+  /// the exclusive prefix sum of the per-rank encoded sizes — NOT rank
+  /// completion order (collective dump, paper Section 6). Multi-process:
+  /// remote ranks ship their streams to rank 0, whose process returns the
+  /// assembled dump; other processes return only the header (no streams).
   [[nodiscard]] compression::CompressedQuantity compress_collective(
       const compression::CompressionParams& params,
       std::vector<compression::WorkerTimes>* times = nullptr);
 
-  /// Aggregated kernel times across ranks.
+  /// Aggregated kernel times across this process's local ranks.
   [[nodiscard]] StepProfile profile() const;
   /// Exposed communication stall: wall-clock the step loop blocks on halo
   /// exchange with no compute runnable. Sequential schedule: the full
@@ -112,13 +148,15 @@ class ClusterSimulation {
   }
   [[nodiscard]] const std::vector<int>& halo_blocks(int r) const { return halo_[r]; }
 
-  /// One full sequential halo exchange (pack+send+drain for all ranks;
+  /// One full sequential halo exchange (pack+send+drain for the local ranks;
   /// normally driven by advance — exposed for tests and the communication
-  /// benches).
+  /// benches). Collective: every process must call it the same number of
+  /// times (each call is one epoch).
   void exchange_halos();
 
-  /// The ghost resolution path of `rank` for a global cell coordinate
-  /// (exposed for tests): returns false when the cell is local-unfolded.
+  /// The ghost resolution path of a LOCAL `rank` for a global cell
+  /// coordinate (exposed for tests): returns false when the cell is
+  /// local-unfolded.
   [[nodiscard]] bool fetch_remote(int rank, int gx, int gy, int gz, Cell& out) const;
 
  private:
@@ -127,24 +165,31 @@ class ClusterSimulation {
     int nx, ny, nz;  ///< extent in cells
   };
 
-  /// Packs and sends one rank's six face slabs (the paper's Isend phase).
+  /// Packs and sends one local rank's six face slabs (the paper's Isend
+  /// phase) under the current epoch's tags.
   void pack_rank_sends(int r);
-  /// Packs and sends every rank's six face slabs, in rank order.
+  /// Packs and sends every local rank's six face slabs, in rank order.
   void post_halo_sends();
-  /// Receives and unpacks the six face slabs of one rank.
+  /// Receives and unpacks the six face slabs of one local rank. Drains via
+  /// atomic try_recv in whatever order messages arrive (no fixed-face
+  /// blocking order), falling back to a blocking recv — traced as a kWait
+  /// span — only when nothing is deliverable.
   void drain_halos(int r);
+  void unpack_halo_slab(int r, int axis, int side, const std::vector<float>& msg);
   /// One RK stage of the overlap pipeline: per-rank pack tasks, interior
   /// RHS tasks, and dependency-gated drain + halo RHS tasks, interleaved.
   void advance_stage_overlapped(double a_coeff);
+  [[nodiscard]] const Simulation& front_sim() const { return *sims_[local_.front()]; }
 
   CartTopology topo_;
-  SimComm comm_;
+  mutable SimComm comm_;  ///< mutable: const collectives (gather, save) send
   int bs_;
   int gbx_, gby_, gbz_;
   BoundaryConditions global_bc_;
-  std::vector<std::unique_ptr<Simulation>> sims_;
+  std::vector<int> local_;  ///< comm_.local_ranks(), cached
+  std::vector<std::unique_ptr<Simulation>> sims_;  ///< null for remote ranks
   std::vector<RankBox> boxes_;
-  std::vector<std::vector<int>> interior_, halo_;
+  std::vector<std::vector<int>> interior_, halo_;  ///< filled for local ranks
   // halo_slabs_[rank][axis*2+side]: 3-layer cell slab outside the rank box.
   std::vector<std::array<std::vector<Cell>, 6>> halo_slabs_;
   perf::Tracer tracer_;
@@ -153,6 +198,7 @@ class ClusterSimulation {
   double comm_time_ = 0;
   double comm_work_time_ = 0;
   long steps_ = 0;
+  long epoch_ = 0;  ///< halo tag epoch (one per RK stage exchange)
 };
 
 }  // namespace mpcf::cluster

@@ -2,84 +2,116 @@
 
 #include <algorithm>
 
+#include "cluster/transport_inmemory.h"
 #include "core/profile.h"
 
 namespace mpcf::cluster {
 
-void SimComm::send(int src, int dst, int tag, std::vector<float> data) {
-  require(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
-          "SimComm::send: rank out of range");
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.messages++;
-  stats_.bytes += data.size() * sizeof(float);
-  mailboxes_[Key{src, dst, tag}].push_back(std::move(data));
+SimComm::SimComm(int nranks)
+    : transport_(std::make_shared<InMemoryTransport>(nranks)) {}
+
+SimComm::SimComm(std::shared_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
+  require(transport_ != nullptr, "SimComm: null transport");
+}
+
+bool SimComm::is_local(int rank) const noexcept {
+  const std::vector<int>& local = transport_->local_ranks();
+  return std::find(local.begin(), local.end(), rank) != local.end();
+}
+
 #if MPCF_CHECKED
-  SeqState& ss = seq_[Key{src, dst, tag}];
-  ss.in_flight.push_back(ss.next_send++);
+void SimComm::check_epoch_locked(int src, int dst, int tag, const char* who) const {
+  if (!is_halo_tag(tag)) return;
+  const long epoch = halo_tag_epoch(tag);
+  const auto key = std::make_tuple(src, dst, halo_tag_face(tag));
+  const auto it = last_epoch_.find(key);
+  if (it != last_epoch_.end()) {
+    MPCF_CHECK(epoch >= it->second,
+               std::string(who) + ": halo epoch regressed from " +
+                   std::to_string(it->second) + " to " + std::to_string(epoch) +
+                   " on flow (src " + std::to_string(src) + ", dst " +
+                   std::to_string(dst) + ", face " +
+                   std::to_string(halo_tag_face(tag)) + ")");
+    it->second = std::max(it->second, epoch);
+  } else {
+    last_epoch_[key] = epoch;
+  }
+}
 #endif
+
+void SimComm::send(int src, int dst, int tag, std::vector<float> data) {
+  require(src >= 0 && src < size() && dst >= 0 && dst < size(),
+          "SimComm::send: rank out of range");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.messages++;
+    stats_.bytes += data.size() * sizeof(float);
+#if MPCF_CHECKED
+    check_epoch_locked(src, dst, tag, "SimComm::send");
+#endif
+  }
+  transport_->send(src, dst, tag, std::move(data));
 }
 
 std::vector<float> SimComm::recv(int src, int dst, int tag) {
   Timer timer;
-  MPCF_CHECK(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
+  MPCF_CHECK(src >= 0 && src < size() && dst >= 0 && dst < size(),
              "SimComm::recv rank (" + std::to_string(src) + "->" +
-                 std::to_string(dst) + ") outside [0," + std::to_string(nranks_) + ")");
+                 std::to_string(dst) + ") outside [0," + std::to_string(size()) + ")");
+  std::vector<float> data = transport_->recv(src, dst, tag);
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = mailboxes_.find(Key{src, dst, tag});
-  require(it != mailboxes_.end() && !it->second.empty(),
-          "SimComm::recv: no matching message");
-  std::vector<float> data = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) mailboxes_.erase(it);
 #if MPCF_CHECKED
-  SeqState& ss = seq_[Key{src, dst, tag}];
-  MPCF_CHECK(!ss.in_flight.empty(),
-             "SimComm sequencing: recv with no tracked in-flight message (src " +
-                 std::to_string(src) + ", dst " + std::to_string(dst) + ", tag " +
-                 std::to_string(tag) + ")");
-  const std::uint64_t seq = ss.in_flight.front();
-  ss.in_flight.pop_front();
-  MPCF_CHECK(seq == ss.next_recv,
-             "SimComm sequencing: popped message #" + std::to_string(seq) +
-                 " but expected #" + std::to_string(ss.next_recv) + " (src " +
-                 std::to_string(src) + ", dst " + std::to_string(dst) + ", tag " +
-                 std::to_string(tag) + ")");
-  ss.next_recv++;
+  check_epoch_locked(src, dst, tag, "SimComm::recv");
 #endif
   stats_.recv_seconds += timer.seconds();
   return data;
 }
 
+bool SimComm::try_recv(int src, int dst, int tag, std::vector<float>& out) {
+  Timer timer;
+  MPCF_CHECK(src >= 0 && src < size() && dst >= 0 && dst < size(),
+             "SimComm::try_recv rank (" + std::to_string(src) + "->" +
+                 std::to_string(dst) + ") outside [0," + std::to_string(size()) + ")");
+  const bool got = transport_->try_recv(src, dst, tag, out);
+  if (got) {
+    std::lock_guard<std::mutex> lock(mu_);
+#if MPCF_CHECKED
+    check_epoch_locked(src, dst, tag, "SimComm::try_recv");
+#endif
+    stats_.recv_seconds += timer.seconds();
+  }
+  return got;
+}
+
 bool SimComm::probe(int src, int dst, int tag) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = mailboxes_.find(Key{src, dst, tag});
-  return it != mailboxes_.end() && !it->second.empty();
+  return transport_->probe(src, dst, tag);
 }
 
 double SimComm::allreduce_max(const std::vector<double>& contributions) const {
-  require(static_cast<int>(contributions.size()) == nranks_,
-          "SimComm::allreduce_max: one contribution per rank required");
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.collectives++;
   }
-  return *std::max_element(contributions.begin(), contributions.end());
+  return transport_->allreduce_max(contributions);
+}
+
+double SimComm::allreduce_sum(const std::vector<double>& contributions) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.collectives++;
+  }
+  return transport_->allreduce_sum(contributions);
 }
 
 std::vector<std::uint64_t> SimComm::exscan(const std::vector<std::uint64_t>& values) const {
-  require(static_cast<int>(values.size()) == nranks_,
-          "SimComm::exscan: one value per rank required");
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.collectives++;
   }
-  std::vector<std::uint64_t> out(values.size());
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    out[i] = acc;
-    acc += values[i];
-  }
-  return out;
+  return transport_->exscan(values);
 }
+
+void SimComm::barrier() const { transport_->barrier(); }
 
 }  // namespace mpcf::cluster

@@ -1,21 +1,22 @@
-// In-process message transport standing in for MPI (see DESIGN.md,
-// substitutions): point-to-point messages are byte buffers in per-(dst,tag)
-// mailboxes; collectives (max-allreduce for DT, exclusive scan for the
-// collective dump offsets) operate on per-rank contribution vectors. The
-// send/recv discipline mirrors the non-blocking exchange of the paper's
-// cluster layer so the halo/interior overlap structure is preserved, and all
-// traffic is accounted (message counts, bytes, and receive wall-clock) for
-// the communication statistics of the scaling benches. All operations are
-// thread-safe: the overlapped step schedule drains mailboxes from concurrent
+// Communication facade of the cluster layer (see DESIGN.md §12): SimComm
+// keeps the accounting the scaling benches rely on (message counts, bytes,
+// receive wall-clock, stall time) and the MPCF_CHECKED invariants, and
+// delegates the actual message motion to a pluggable Transport. The default
+// backend is the in-memory mailbox (all ranks in-process, the test oracle);
+// tools/mpcf-run swaps in the POSIX shared-memory backend via
+// make_env_transport so N ranks run as N processes. All operations are
+// thread-safe: the overlapped step schedule drains messages from concurrent
 // OpenMP tasks.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
+#include "cluster/transport.h"
 #include "common/check.h"
 #include "common/error.h"
 
@@ -23,34 +24,61 @@ namespace mpcf::cluster {
 
 class SimComm {
  public:
-  explicit SimComm(int nranks) : nranks_(nranks) {
-    require(nranks > 0, "SimComm: positive rank count required");
+  /// In-process communicator over the in-memory transport (the historical
+  /// behaviour: all `nranks` ranks live in this process).
+  explicit SimComm(int nranks);
+  /// Communicator over an explicit backend (shm for multi-process runs).
+  explicit SimComm(std::shared_ptr<Transport> transport);
+
+  [[nodiscard]] int size() const noexcept { return transport_->nranks(); }
+  /// Ranks this process drives; see Transport::local_ranks().
+  [[nodiscard]] const std::vector<int>& local_ranks() const noexcept {
+    return transport_->local_ranks();
   }
+  [[nodiscard]] bool is_local(int rank) const noexcept;
 
-  [[nodiscard]] int size() const noexcept { return nranks_; }
-
-  /// Non-blocking send: enqueues the buffer for (dst, tag).
+  /// Non-blocking send from local rank `src`.
   void send(int src, int dst, int tag, std::vector<float> data);
 
-  /// Matching receive; messages from one (src,dst,tag) arrive in send order.
+  /// Matching receive at local rank `dst`: blocks until the message arrives
+  /// or the receive timeout expires (TransportError naming (src,dst,tag)).
+  /// Messages of one (src,dst,tag) flow arrive in send order.
   [[nodiscard]] std::vector<float> recv(int src, int dst, int tag);
 
-  /// True if a message from (src, tag) is waiting at dst.
+  /// Atomic non-blocking receive: pops into `out` iff a message is waiting.
+  /// Safe under concurrent drains of one flow, unlike probe()+recv().
+  bool try_recv(int src, int dst, int tag, std::vector<float>& out);
+
+  /// True if a message from (src, tag) is waiting at dst (advisory under
+  /// concurrency — prefer try_recv).
   [[nodiscard]] bool probe(int src, int dst, int tag) const;
 
-  /// Max-allreduce over per-rank contributions (the DT reduction).
+  /// Max-allreduce over contributions of this process's local ranks, in
+  /// local_ranks() order (the DT reduction).
   [[nodiscard]] double allreduce_max(const std::vector<double>& contributions) const;
 
-  /// Exclusive prefix sum over per-rank values (the dump offset scan).
+  /// Sum-allreduce, deterministic rank-order reduction.
+  [[nodiscard]] double allreduce_sum(const std::vector<double>& contributions) const;
+
+  /// Exclusive prefix sum across all ranks; returns the offsets of this
+  /// process's local ranks, in local_ranks() order (the dump offset scan).
   [[nodiscard]] std::vector<std::uint64_t> exscan(
       const std::vector<std::uint64_t>& values) const;
+
+  /// Barrier across all ranks (no-op on the in-memory backend).
+  void barrier() const;
+
+  /// Receive timeout in seconds for blocking calls on the transport.
+  void set_recv_timeout(double seconds) { transport_->set_timeout(seconds); }
+  [[nodiscard]] double recv_timeout() const noexcept { return transport_->timeout(); }
 
   struct Stats {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t collectives = 0;
-    /// Wall-clock spent inside recv calls (mailbox match + dequeue). Under
-    /// the overlapped schedule this is drain time hidden behind compute.
+    /// Wall-clock spent inside recv calls (match + dequeue + blocking wait).
+    /// Under the overlapped schedule this is drain time hidden behind
+    /// compute.
     double recv_seconds = 0;
     /// Wall-clock the step loop stalls on communication with no RHS work
     /// running (filled by the cluster layer: the full exchange on the
@@ -72,34 +100,18 @@ class SimComm {
   }
 
  private:
-  struct Key {
-    int src, dst, tag;
-    bool operator<(const Key& o) const {
-      if (src != o.src) return src < o.src;
-      if (dst != o.dst) return dst < o.dst;
-      return tag < o.tag;
-    }
-  };
-
-  int nranks_;
-  // Mailboxes are FIFO queues: the overlapped schedule lets fast ranks run a
-  // full RK stage ahead, so queues get deeper and pops must stay O(1).
-  std::map<Key, std::deque<std::vector<float>>> mailboxes_;
-  mutable std::mutex mu_;
-  mutable Stats stats_;
 #if MPCF_CHECKED
-  /// Sequencing guard (checked builds only): every message of a (src,dst,
-  /// tag) flow carries a send-side sequence number, and recv asserts it pops
-  /// them gap-free in order. Trivially true of a deque — the point is that
-  /// it STAYS true through transport refactors (out-of-order drains, lost
-  /// wakeups, double-pops all trip it immediately).
-  struct SeqState {
-    std::uint64_t next_send = 0;
-    std::uint64_t next_recv = 0;
-    std::deque<std::uint64_t> in_flight;  ///< parallels the mailbox deque
-  };
-  mutable std::map<Key, SeqState> seq_;
+  /// Epoch-monotonicity guard (checked builds only): halo tags carry the RK
+  /// stage epoch (transport.h tag schema), and within one (src,dst,face)
+  /// flow the epoch must never step backwards — a regression here means a
+  /// stale slab from a previous stage would alias into the current one.
+  void check_epoch_locked(int src, int dst, int tag, const char* who) const;
+  mutable std::map<std::tuple<int, int, int>, long> last_epoch_;
 #endif
+
+  std::shared_ptr<Transport> transport_;
+  mutable std::mutex mu_;  ///< guards stats_ (and last_epoch_ when checked)
+  mutable Stats stats_;
 };
 
 }  // namespace mpcf::cluster

@@ -1,0 +1,51 @@
+#include "cluster/transport.h"
+
+#include <cstdlib>
+
+#include "cluster/transport_inmemory.h"
+#include "cluster/transport_shm.h"
+
+namespace mpcf::cluster {
+
+namespace {
+
+[[nodiscard]] const char* env(const char* name) { return std::getenv(name); }
+
+[[nodiscard]] long env_long(const char* name) {
+  const char* v = env(name);
+  require(v != nullptr, std::string("make_env_transport: ") + name + " is not set");
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  require(end != v && *end == '\0',
+          std::string("make_env_transport: ") + name + "='" + v + "' is not an integer");
+  return parsed;
+}
+
+}  // namespace
+
+double default_timeout_seconds() {
+  if (const char* v = env("MPCF_RECV_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const long ms = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && ms > 0) return static_cast<double>(ms) / 1e3;
+  }
+  return 30.0;
+}
+
+std::shared_ptr<Transport> make_env_transport(int nranks) {
+  const char* kind = env("MPCF_TRANSPORT");
+  if (kind != nullptr && std::string(kind) == "shm") {
+    const char* name = env("MPCF_SHM_NAME");
+    require(name != nullptr, "make_env_transport: MPCF_TRANSPORT=shm needs MPCF_SHM_NAME");
+    const long rank = env_long("MPCF_RANK");
+    const long total = env_long("MPCF_NRANKS");
+    require(total == nranks,
+            "make_env_transport: MPCF_NRANKS=" + std::to_string(total) +
+                " does not match the requested topology of " + std::to_string(nranks) +
+                " ranks");
+    return std::make_shared<ShmTransport>(name, static_cast<int>(rank));
+  }
+  return std::make_shared<InMemoryTransport>(nranks);
+}
+
+}  // namespace mpcf::cluster

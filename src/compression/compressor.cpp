@@ -200,4 +200,23 @@ void decompress_quantity(const CompressedQuantity& cq, Grid& grid) {
         grid.cell(ix, iy, iz).q(cq.quantity) = field(ix, iy, iz);
 }
 
+void assemble_collective(CompressedQuantity& global, std::vector<RankStreams> parts) {
+  std::sort(parts.begin(), parts.end(),
+            [](const RankStreams& a, const RankStreams& b) {
+              return a.offset != b.offset ? a.offset < b.offset : a.rank < b.rank;
+            });
+  std::uint64_t expected = 0;
+  for (auto& part : parts) {
+    require(part.offset == expected,
+            "assemble_collective: rank " + std::to_string(part.rank) +
+                " landed at offset " + std::to_string(part.offset) +
+                " but the scan places it at " + std::to_string(expected) +
+                " (gap or overlap in the collective layout)");
+    for (auto& stream : part.streams) {
+      expected += stream.data.size();
+      global.streams.push_back(std::move(stream));
+    }
+  }
+}
+
 }  // namespace mpcf::compression

@@ -95,4 +95,20 @@ void decompress_quantity(const CompressedQuantity& cq, Grid& grid);
 /// derived quantities too).
 [[nodiscard]] Field3D<float> decompress_to_field(const CompressedQuantity& cq);
 
+/// One rank's contribution to a collective dump: its streams (already
+/// carrying global block ids) plus the exclusive-prefix-sum offset of its
+/// encoded bytes in the file (the MPI_Exscan of the paper's collective
+/// write).
+struct RankStreams {
+  int rank = 0;
+  std::uint64_t offset = 0;  ///< exscan of per-rank encoded byte counts
+  std::vector<CompressedQuantity::Stream> streams;
+};
+
+/// Assembles rank contributions into `global.streams` ordered by their
+/// scanned offsets — NOT by arrival order, which on a real transport is the
+/// completion order of the ranks. Verifies the offsets tile the file
+/// contiguously (no gap or overlap) and throws PreconditionError otherwise.
+void assemble_collective(CompressedQuantity& global, std::vector<RankStreams> parts);
+
 }  // namespace mpcf::compression

@@ -28,6 +28,7 @@ const char* trace_phase_name(TracePhase p) {
     case TracePhase::kReduce: return "reduce";
     case TracePhase::kDump: return "dump";
     case TracePhase::kCheckpoint: return "checkpoint";
+    case TracePhase::kWait: return "wait";
   }
   return "?";
 }

@@ -25,8 +25,11 @@ enum class TracePhase : int {
   kCheckpoint,    ///< checkpoint save / restart recovery (one span per
                   ///< recovery attempt, so skipped-corrupt-file events are
                   ///< visible in the trace)
+  kWait,          ///< blocked inside the transport (recv with no message
+                  ///< staged) — on the shm backend this is real cross-process
+                  ///< wait time, visible as gaps in the overlap pipeline
 };
-constexpr int kNumTracePhases = 7;
+constexpr int kNumTracePhases = 8;
 
 [[nodiscard]] const char* trace_phase_name(TracePhase p);
 

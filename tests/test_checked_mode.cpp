@@ -203,6 +203,21 @@ TEST(CheckedMode, SimCommRankRangeTraps) {
   EXPECT_NO_THROW((void)comm.recv(0, 1, 7));
 }
 
+TEST(CheckedMode, SimCommHaloEpochRegressionTraps) {
+  // Halo tags carry the RK stage epoch (transport.h); within one
+  // (src,dst,face) flow the epoch must never step backwards — a regression
+  // would alias a stale slab from a previous stage into the current one.
+  cluster::SimComm comm(2);
+  comm.send(0, 1, cluster::halo_tag(0, 0, 2), {1.0f});
+  (void)comm.recv(0, 1, cluster::halo_tag(0, 0, 2));
+  EXPECT_THROW(comm.send(0, 1, cluster::halo_tag(0, 0, 1), {2.0f}), CheckError);
+  // Same-epoch traffic and forward progress stay legal, as does the same
+  // regressed epoch on a DIFFERENT face (flows are tracked independently).
+  EXPECT_NO_THROW(comm.send(0, 1, cluster::halo_tag(0, 0, 2), {3.0f}));
+  EXPECT_NO_THROW(comm.send(0, 1, cluster::halo_tag(0, 0, 3), {4.0f}));
+  EXPECT_NO_THROW(comm.send(0, 1, cluster::halo_tag(1, 0, 1), {5.0f}));
+}
+
 #else  // !MPCF_CHECKED — the guards must cost nothing
 
 static_assert(!check::kEnabled, "plain builds must not enable checks");

@@ -2,10 +2,12 @@
 // property — multi-rank runs reproducing the single-rank solution exactly.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "cluster/cluster_simulation.h"
 #include "eos/stiffened_gas.h"
@@ -54,9 +56,84 @@ TEST(SimComm, SendRecvFifoPerTag) {
   const auto b = comm.recv(0, 1, 7);
   ASSERT_EQ(b.size(), 1u);
   EXPECT_EQ(b[0], 3.0f);
-  EXPECT_THROW((void)comm.recv(0, 1, 7), PreconditionError);
+  // A receive with no matching message blocks until the timeout, then fails
+  // with a diagnosable TransportError naming the flow (regression: this used
+  // to hard-fail immediately, turning legitimate waits into errors).
+  comm.set_recv_timeout(0.05);
+  try {
+    (void)comm.recv(0, 1, 7);
+    FAIL() << "recv on an empty flow must time out";
+  } catch (const TransportError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag 7"), std::string::npos) << what;
+  }
   EXPECT_EQ(comm.stats().messages, 3u);
   EXPECT_EQ(comm.stats().bytes, 4u * sizeof(float));
+}
+
+TEST(SimComm, RecvUnblocksWhenMessageArrivesLate) {
+  // The blocking receive must wake as soon as a matching send lands — the
+  // paper's cluster layer legitimately receives messages posted by another
+  // worker after the recv started.
+  SimComm comm(2);
+  comm.set_recv_timeout(10.0);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    comm.send(0, 1, 4, {42.0f});
+  });
+  const auto msg = comm.recv(0, 1, 4);
+  sender.join();
+  ASSERT_EQ(msg.size(), 1u);
+  EXPECT_EQ(msg[0], 42.0f);
+}
+
+TEST(SimComm, TryRecvIsAtomicUnderConcurrentDrains) {
+  // probe()+recv() is a check-then-act race: two drains can both see the
+  // same message and the loser dies on an empty mailbox. try_recv pops
+  // atomically — N messages split across two concurrent drains must arrive
+  // exactly once each (regression for the overlap drain loop).
+  SimComm comm(2);
+  const int kMessages = 2000;
+  for (int i = 0; i < kMessages; ++i) comm.send(0, 1, 9, {static_cast<float>(i)});
+  std::vector<float> got_a, got_b;
+  std::thread drain_a([&] {
+    std::vector<float> msg;
+    while (comm.try_recv(0, 1, 9, msg)) got_a.push_back(msg.at(0));
+  });
+  std::vector<float> msg;
+  while (comm.try_recv(0, 1, 9, msg)) got_b.push_back(msg.at(0));
+  drain_a.join();
+  ASSERT_EQ(got_a.size() + got_b.size(), static_cast<std::size_t>(kMessages));
+  // Each drain sees an ascending subsequence; together they cover 0..N-1.
+  std::vector<bool> seen(kMessages, false);
+  for (const auto& seq : {got_a, got_b}) {
+    float last = -1.0f;
+    for (const float v : seq) {
+      EXPECT_GT(v, last);
+      last = v;
+      ASSERT_FALSE(seen[static_cast<int>(v)]) << "message " << v << " popped twice";
+      seen[static_cast<int>(v)] = true;
+    }
+  }
+}
+
+TEST(Transport, HaloTagSchemaEncodesEpochAndFace) {
+  // Epoch-qualified halo tags: a fast rank one RK stage ahead must never
+  // alias the previous stage's flow (regression: tags used to be axis*2+side
+  // only, so stage N+1 messages matched stage N receives).
+  EXPECT_NE(halo_tag(0, 0, 0), halo_tag(0, 0, 1));
+  for (long epoch : {0L, 1L, 7L, 1000L})
+    for (int a = 0; a < 3; ++a)
+      for (int s = 0; s < 2; ++s) {
+        const int tag = halo_tag(a, s, epoch);
+        EXPECT_TRUE(is_halo_tag(tag));
+        EXPECT_EQ(halo_tag_epoch(tag), epoch);
+        EXPECT_EQ(halo_tag_face(tag), a * 2 + s);
+      }
+  EXPECT_FALSE(is_halo_tag(kTagGather));
+  EXPECT_FALSE(is_halo_tag(kTagDump));
 }
 
 TEST(SimComm, ManyMessagesStayFifoPerKey) {
@@ -302,6 +379,10 @@ TEST(Cluster, MessageAccountingMatchesTopology) {
   // work itself is accounted.
   EXPECT_DOUBLE_EQ(cs.comm_time(), 0.0);
   EXPECT_GT(cs.comm_work_time(), 0.0);
+  // One epoch per RK stage: three stages stepped once.
+  EXPECT_EQ(cs.halo_epoch(), 3);
+  cs.step();
+  EXPECT_EQ(cs.halo_epoch(), 6);
 }
 
 TEST(Cluster, HaloInteriorSplitCoversAllBlocks) {

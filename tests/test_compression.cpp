@@ -229,5 +229,51 @@ TEST(CompressedFile, RejectsMissingFile) {
   EXPECT_THROW((void)io::read_compressed("/nonexistent/path/foo.cq"), PreconditionError);
 }
 
+namespace {
+CompressedQuantity::Stream make_stream(std::uint32_t id, std::size_t nbytes) {
+  CompressedQuantity::Stream s;
+  s.block_ids = {id};
+  s.data.assign(nbytes, static_cast<std::uint8_t>(id));
+  s.raw_bytes = nbytes * 3;
+  return s;
+}
+}  // namespace
+
+TEST(AssembleCollective, OrdersByScannedOffsetNotArrivalOrder) {
+  // The regression behind this test: the collective dump used to concatenate
+  // rank streams in completion order, silently discarding the exscan
+  // offsets. Hand assemble_collective the parts in a shuffled arrival order;
+  // the result must follow the offsets (rank 0's streams first).
+  CompressedQuantity global;
+  std::vector<RankStreams> parts;
+  parts.push_back({2, 30, {make_stream(20, 5), make_stream(21, 7)}});  // arrives 1st
+  parts.push_back({0, 0, {make_stream(0, 10)}});                       // arrives 2nd
+  parts.push_back({3, 42, {}});                                        // empty rank
+  parts.push_back({1, 10, {make_stream(10, 20)}});                     // arrives last
+  assemble_collective(global, std::move(parts));
+  ASSERT_EQ(global.streams.size(), 4u);
+  EXPECT_EQ(global.streams[0].block_ids, std::vector<std::uint32_t>{0});
+  EXPECT_EQ(global.streams[1].block_ids, std::vector<std::uint32_t>{10});
+  EXPECT_EQ(global.streams[2].block_ids, std::vector<std::uint32_t>{20});
+  EXPECT_EQ(global.streams[3].block_ids, std::vector<std::uint32_t>{21});
+}
+
+TEST(AssembleCollective, RejectsGapOrOverlapInTheLayout) {
+  {
+    CompressedQuantity global;
+    std::vector<RankStreams> parts;
+    parts.push_back({0, 0, {make_stream(0, 10)}});
+    parts.push_back({1, 12, {make_stream(1, 4)}});  // gap: scan says 10
+    EXPECT_THROW(assemble_collective(global, std::move(parts)), PreconditionError);
+  }
+  {
+    CompressedQuantity global;
+    std::vector<RankStreams> parts;
+    parts.push_back({0, 0, {make_stream(0, 10)}});
+    parts.push_back({1, 6, {make_stream(1, 4)}});  // overlap into rank 0
+    EXPECT_THROW(assemble_collective(global, std::move(parts)), PreconditionError);
+  }
+}
+
 }  // namespace
 }  // namespace mpcf::compression

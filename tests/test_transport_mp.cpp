@@ -1,0 +1,100 @@
+// True multi-process transport tests: spawn tools/mpcf-run (one process per
+// rank over the shm transport) against tests/mpcf_rank_worker and verify the
+// two acceptance properties of the multi-process port:
+//
+//   1. `mpcf-run -n 4 worker` writes a checkpoint bitwise identical to the
+//      same worker run single-process (all ranks in-memory) — the transport
+//      swap changes the execution substrate, not one bit of physics.
+//   2. A rank dying mid-run surfaces as a diagnosed nonzero exit on every
+//      peer, never a hang (the launcher aborts the segment; peers convert it
+//      into TransportError within a poll slice).
+//
+// Binary locations come from the build system (MPCF_RUN_PATH /
+// MPCF_WORKER_PATH compile definitions).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/safe_file.h"
+
+namespace mpcf {
+namespace {
+
+/// Runs `cmd` under a single OpenMP thread (determinism: identical task
+/// interleavings are not required, identical arithmetic is — one thread per
+/// process removes the only scheduling freedom the node layer has).
+int run_cmd(const std::string& cmd) {
+  const std::string full = "OMP_NUM_THREADS=1 " + cmd;
+  const int status = std::system(full.c_str());
+  if (status < 0) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+std::string worker_args(const std::string& out, int steps, int overlap) {
+  return std::string(MPCF_WORKER_PATH) + " --topo 1,2,2 --blocks 2,2,2 --bs 8" +
+         " --steps " + std::to_string(steps) + " --overlap " +
+         std::to_string(overlap) + " --out " + out;
+}
+
+TEST(MultiProcess, FourRanksBitwiseIdenticalToInProcess) {
+  const std::string dir = ::testing::TempDir();
+  const std::string ref = dir + "/mp_ref.ckpt";
+  const std::string mp = dir + "/mp_shm.ckpt";
+
+  ASSERT_EQ(run_cmd(worker_args(ref, 2, 1)), 0) << "in-process reference failed";
+  ASSERT_EQ(run_cmd(std::string(MPCF_RUN_PATH) + " -n 4 " + worker_args(mp, 2, 1)), 0)
+      << "mpcf-run failed";
+
+  const auto a = io::read_file(ref);
+  const auto b = io::read_file(mp);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "shm transport changed the physics: checkpoints differ";
+  std::remove(ref.c_str());
+  std::remove(mp.c_str());
+}
+
+TEST(MultiProcess, SequentialScheduleAlsoBitwiseIdentical) {
+  // The non-overlapped (sequential halo exchange) schedule must agree too:
+  // it exercises the blocking-recv path instead of the try_recv drain.
+  const std::string dir = ::testing::TempDir();
+  const std::string ref = dir + "/mp_ref_seq.ckpt";
+  const std::string mp = dir + "/mp_shm_seq.ckpt";
+
+  ASSERT_EQ(run_cmd(worker_args(ref, 2, 0)), 0);
+  ASSERT_EQ(run_cmd(std::string(MPCF_RUN_PATH) + " -n 4 " + worker_args(mp, 2, 0)), 0);
+
+  const auto a = io::read_file(ref);
+  const auto b = io::read_file(mp);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  std::remove(ref.c_str());
+  std::remove(mp.c_str());
+}
+
+TEST(MultiProcess, DeadRankIsAnErrorNotAHang) {
+  // Rank 1 _exit(3)s after the first step. The launcher must flag the
+  // segment, the surviving ranks must fail with TransportError, and the
+  // whole run must come back nonzero well before the 3 s receive timeout
+  // would even matter — bounded here at the test level by wall clock.
+  const std::string dir = ::testing::TempDir();
+  const auto t0 = std::chrono::steady_clock::now();
+  const int rc =
+      run_cmd(std::string(MPCF_RUN_PATH) + " -n 2 --timeout-ms 3000 " +
+              std::string(MPCF_WORKER_PATH) +
+              " --topo 1,1,2 --blocks 1,1,2 --bs 8 --steps 50 --die 1 --out " + dir +
+              "/mp_dead.ckpt 2>/dev/null");
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_NE(rc, 0) << "a dead rank must fail the launch";
+  EXPECT_LT(waited, 60.0) << "dead rank hung the run";
+  std::remove((dir + "/mp_dead.ckpt").c_str());
+}
+
+}  // namespace
+}  // namespace mpcf
