@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "cluster/transport_inmemory.h"
+#include "compression/pipeline.h"
 #include "io/checkpoint.h"
+#include "io/compressed_file.h"
 #include "io/safe_file.h"
 
 namespace mpcf::cluster {
@@ -701,6 +703,9 @@ compression::CompressedQuantity ClusterSimulation::compress_collective(
   global.eps = params.eps;
   global.derived_pressure = params.derive_pressure;
   global.quantity = params.quantity;
+  // The header must name the entropy stage the streams were actually
+  // encoded with — leaving the default here mislabels any non-zlib dump.
+  global.coder = params.coder;
 
   const BlockIndexer gindex(gbx_, gby_, gbz_);
   std::vector<compression::RankStreams> parts;
@@ -711,9 +716,12 @@ compression::CompressedQuantity ClusterSimulation::compress_collective(
 
   for (const int r : local_) {
     perf::TraceSpan span(tracer_, perf::TracePhase::kDump, r);
-    std::vector<compression::WorkerTimes> rank_times;
-    auto cq = compression::compress_quantity(sims_[r]->grid(), params,
-                                             times ? &rank_times : nullptr);
+    // Each rank compresses through the pipelined stage graph; its chunked
+    // streams keep block-id order, so the remap below and the offset-ordered
+    // assembly preserve the deterministic file layout.
+    compression::PipelineStats rank_stats;
+    auto cq = compression::compress_quantity_pipelined(sims_[r]->grid(), params,
+                                                       times ? &rank_stats : nullptr);
     global.levels = cq.levels;
     int cx, cy, cz;
     topo_.coords(r, cx, cy, cz);
@@ -731,7 +739,9 @@ compression::CompressedQuantity ClusterSimulation::compress_collective(
     }
     parts.push_back(compression::RankStreams{r, 0, std::move(cq.streams)});
     local_bytes.push_back(bytes);
-    if (times) times->insert(times->end(), rank_times.begin(), rank_times.end());
+    if (times)
+      times->insert(times->end(), rank_stats.worker_times.begin(),
+                    rank_stats.worker_times.end());
   }
 
   // The collective write orders rank blobs by the exclusive prefix sum of
@@ -762,6 +772,18 @@ compression::CompressedQuantity ClusterSimulation::compress_collective(
       comm_.send(part.rank, 0, kTagDump, pack_rank_streams(part, global.levels));
   }
   return global;
+}
+
+std::uint64_t ClusterSimulation::dump_collective(
+    const std::string& path, const compression::CompressionParams& params,
+    std::vector<compression::WorkerTimes>* times) {
+  const compression::CompressedQuantity global = compress_collective(params, times);
+  // Only the process holding the assembled streams writes; the two-phase
+  // aggregating writer turns the offset-ordered blobs into large aligned
+  // writes (the collective dump of paper Section 6, single file per
+  // quantity).
+  if (!comm_.is_local(0)) return 0;
+  return io::write_compressed(path, global);
 }
 
 StepProfile ClusterSimulation::profile() const {

@@ -129,6 +129,13 @@ class ClusterSimulation {
       const compression::CompressionParams& params,
       std::vector<compression::WorkerTimes>* times = nullptr);
 
+  /// Collective dump straight to disk: compress_collective, then the
+  /// two-phase aggregating `.cq` writer. Only the process holding rank 0
+  /// writes; returns the bytes it wrote (0 elsewhere).
+  std::uint64_t dump_collective(const std::string& path,
+                                const compression::CompressionParams& params,
+                                std::vector<compression::WorkerTimes>* times = nullptr);
+
   /// Aggregated kernel times across this process's local ranks.
   [[nodiscard]] StepProfile profile() const;
   /// Exposed communication stall: wall-clock the step loop blocks on halo

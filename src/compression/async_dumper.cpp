@@ -1,109 +1,112 @@
 #include "compression/async_dumper.h"
 
-#include <zlib.h>
-
 #include <chrono>
-#include <memory>
+#include <utility>
 
 #include "common/error.h"
-#include "compression/sparse_coder.h"
-#include "io/compressed_file.h"
+#include "compression/pipeline.h"
 
 namespace mpcf::compression {
 
 namespace {
 
 /// Staging snapshot of one quantity, laid out as a standalone block grid so
-/// the background thread never touches the live simulation state.
-struct Snapshot {
-  int bx, by, bz, bs;
-  std::vector<float> cubes;  // per block, SFC order, bs^3 floats each
+/// the background pipeline never touches the live simulation state. Doubles
+/// as the pipeline front-end: fill() is a memcpy out of the staged cubes.
+class Snapshot final : public CubeSource {
+ public:
+  Snapshot(const Grid& grid, const CompressionParams& params)
+      : bx_(grid.blocks_x()),
+        by_(grid.blocks_y()),
+        bz_(grid.blocks_z()),
+        bs_(grid.block_size()) {
+    const std::size_t cube = cube_floats();
+    cubes_.resize(cube * grid.block_count());
+    for (int b = 0; b < grid.block_count(); ++b)
+      gather_block_quantity(grid.block(b), bs_, params, cubes_.data() + cube * b);
+  }
+
+  [[nodiscard]] int block_count() const override { return bx_ * by_ * bz_; }
+  void fill(int block_id, float* cube) const override {
+    const std::size_t n = cube_floats();
+    std::copy_n(cubes_.data() + n * block_id, n, cube);
+  }
+
+  [[nodiscard]] int bx() const { return bx_; }
+  [[nodiscard]] int by() const { return by_; }
+  [[nodiscard]] int bz() const { return bz_; }
+  [[nodiscard]] int bs() const { return bs_; }
+
+ private:
+  [[nodiscard]] std::size_t cube_floats() const {
+    return static_cast<std::size_t>(bs_) * bs_ * bs_;
+  }
+
+  int bx_, by_, bz_, bs_;
+  std::vector<float> cubes_;  // per block, SFC order, bs^3 floats each
 };
-
-Snapshot take_snapshot(const Grid& grid, const CompressionParams& params) {
-  Snapshot snap;
-  snap.bx = grid.blocks_x();
-  snap.by = grid.blocks_y();
-  snap.bz = grid.blocks_z();
-  snap.bs = grid.block_size();
-  const std::size_t cube = static_cast<std::size_t>(snap.bs) * snap.bs * snap.bs;
-  snap.cubes.resize(cube * grid.block_count());
-  for (int b = 0; b < grid.block_count(); ++b)
-    gather_block_quantity(grid.block(b), snap.bs, params, snap.cubes.data() + cube * b);
-  return snap;
-}
-
-/// The background pipeline: per-cube FWT + decimation, one stream, encode,
-/// write. Single-threaded on purpose — it runs beside the solver threads.
-double compress_and_write(Snapshot snap, CompressionParams params, std::string path) {
-  const int levels =
-      params.levels < 0 ? wavelet::max_levels(snap.bs) : params.levels;
-  const std::size_t cube = static_cast<std::size_t>(snap.bs) * snap.bs * snap.bs;
-  const int blocks = snap.bx * snap.by * snap.bz;
-
-  CompressedQuantity cq;
-  cq.bx = snap.bx;
-  cq.by = snap.by;
-  cq.bz = snap.bz;
-  cq.block_size = snap.bs;
-  cq.levels = levels;
-  cq.eps = params.eps;
-  cq.derived_pressure = params.derive_pressure;
-  cq.quantity = params.quantity;
-  cq.coder = params.coder;
-  cq.streams.resize(1);
-  auto& stream = cq.streams[0];
-
-  for (int b = 0; b < blocks; ++b) {
-    FieldView3D<float> view(snap.cubes.data() + cube * b, snap.bs, snap.bs, snap.bs);
-    wavelet::forward_3d_simd(view, levels);
-    wavelet::decimate(view, levels, params.eps, params.mode);
-    stream.block_ids.push_back(static_cast<std::uint32_t>(b));
-  }
-  // Encode the whole concatenated buffer (same discipline as the
-  // synchronous pipeline); the sparse coder consumes the coefficient floats
-  // directly, so only the plain path needs the byte view.
-  std::vector<std::uint8_t> buffer;
-  if (params.coder == Coder::kSparseZlib) {
-    buffer = sparse_encode(snap.cubes.data(), snap.cubes.size());
-  } else {
-    // mpcf-lint: allow(reinterpret-cast): float->byte view of the snapshot cubes for the dense path
-    const auto* bytes = reinterpret_cast<const std::uint8_t*>(snap.cubes.data());
-    buffer.assign(bytes, bytes + snap.cubes.size() * sizeof(float));
-  }
-  stream.raw_bytes = buffer.size();
-  uLongf bound = compressBound(static_cast<uLong>(buffer.size()));
-  stream.data.resize(bound);
-  require(compress2(stream.data.data(), &bound, buffer.data(),
-                    static_cast<uLong>(buffer.size()), params.zlib_level) == Z_OK,
-          "AsyncDumper: zlib failure");
-  stream.data.resize(bound);
-  io::write_compressed(path, cq);
-  return cq.compression_rate();
-}
 
 }  // namespace
 
-void AsyncDumper::dump(const Grid& grid, const CompressionParams& params,
-                       const std::string& path) {
-  wait();
-  // Validate here, synchronously, matching compress_quantity — a bad level
-  // count must not surface as a deferred exception out of wait().
-  require(params.levels <= wavelet::max_levels(grid.block_size()),
-          "AsyncDumper: too many wavelet levels for the block size");
-  Snapshot snap = take_snapshot(grid, params);
-  pending_ = std::async(std::launch::async, compress_and_write, std::move(snap), params,
-                        path);
+AsyncDumper::~AsyncDumper() {
+  while (!pending_.empty()) {
+    try {
+      collect_oldest();
+    } catch (const std::exception&) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
 }
 
-double AsyncDumper::wait() {
-  if (!pending_.valid()) return 0.0;
-  return pending_.get();
+void AsyncDumper::dump(const Grid& grid, const CompressionParams& params,
+                       const std::string& path) {
+  validate_compression_params(params, grid.block_size());
+  while (pending_.size() >= kMaxInFlight) collect_oldest();
+  auto snap = std::make_shared<const Snapshot>(grid, params);
+  Pending p;
+  p.path = path;
+  p.result = std::async(std::launch::async, [snap, params, path] {
+    return dump_quantity_pipelined(*snap, snap->bx(), snap->by(), snap->bz(),
+                                   snap->bs(), params, path);
+  });
+  pending_.push_back(std::move(p));
+}
+
+std::optional<double> AsyncDumper::collect_oldest() {
+  Pending p = std::move(pending_.front());
+  pending_.pop_front();
+  try {
+    return p.result.get();
+  } catch (const std::exception& e) {
+    // The background stage graph only sees the staging snapshot; whatever it
+    // threw, the actionable context is which dump died.
+    throw IoError("async dump to '" + p.path + "' failed: " + e.what());
+  }
+}
+
+std::optional<double> AsyncDumper::wait() {
+  if (pending_.empty()) return std::nullopt;
+  return collect_oldest();
+}
+
+std::optional<double> AsyncDumper::drain() {
+  std::optional<double> last;
+  std::exception_ptr first_error;
+  while (!pending_.empty()) {
+    try {
+      last = collect_oldest();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return last;
 }
 
 bool AsyncDumper::busy() const {
-  return pending_.valid() &&
-         pending_.wait_for(std::chrono::seconds(0)) != std::future_status::ready;
+  for (const auto& p : pending_)
+    if (p.result.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+      return true;
+  return false;
 }
 
 }  // namespace mpcf::compression

@@ -1,14 +1,22 @@
-// Asynchronous data dumps: snapshot one quantity into a staging field and
-// run the FWT + decimation + encoding + file write on a background thread
-// while the solver keeps stepping. This is the computation/transfer overlap
-// the paper cites from ISOBAR [66] ("asynchronous data transfer to the
-// dedicated I/O nodes") and envisions for future many-core platforms
-// (Section 9: "intra-node techniques to enforce computation/transfer
-// overlap"). The staging copy holds exactly one quantity, keeping the memory
-// overhead within the paper's 10%-of-footprint budget.
+// Asynchronous data dumps: snapshot one quantity into a staging buffer and
+// run the pipelined FWT + decimation + encode + file write (pipeline.h) in
+// the background while the solver keeps stepping. This is the
+// computation/transfer overlap the paper cites from ISOBAR [66]
+// ("asynchronous data transfer to the dedicated I/O nodes") and envisions
+// for future many-core platforms (Section 9: "intra-node techniques to
+// enforce computation/transfer overlap").
+//
+// The dumper is double-buffered: up to two dumps may be in flight, so a dump
+// still draining to disk never stalls the solver or the *next* snapshot —
+// dump() only blocks when a third would start. Each in-flight dump stages
+// one quantity (the paper's 10%-of-footprint budget per dump; callers who
+// must cap at one copy can wait() between dumps). Background worker count
+// follows CompressionParams::workers.
 #pragma once
 
+#include <deque>
 #include <future>
+#include <optional>
 #include <string>
 
 #include "compression/compressor.h"
@@ -21,29 +29,46 @@ class AsyncDumper {
   /// A failed background write (disk full, torn write) surfaces as an
   /// exception from wait(); if the owner never collected it, the error must
   /// not escape the destructor and terminate the program.
-  ~AsyncDumper() {
-    try {
-      wait();
-    } catch (const std::exception&) {  // NOLINT(bugprone-empty-catch)
-    }
-  }
+  ~AsyncDumper();
   AsyncDumper(const AsyncDumper&) = delete;
   AsyncDumper& operator=(const AsyncDumper&) = delete;
 
   /// Snapshots the quantity synchronously (cheap: one memcpy-scale pass),
-  /// then compresses and writes to `path` in the background. Any previous
-  /// dump still in flight is waited for first (one quantity at a time).
+  /// then compresses and writes to `path` in the background. With two dumps
+  /// already in flight, blocks until the oldest finishes (double buffering).
+  /// Params are validated here, synchronously — a bad level count or zlib
+  /// level must not surface as a deferred exception out of wait().
   void dump(const Grid& grid, const CompressionParams& params, const std::string& path);
 
-  /// Blocks until the in-flight dump (if any) finishes; returns its
-  /// compression rate (0 if none was pending).
-  double wait();
+  /// Blocks until the oldest in-flight dump finishes and returns its
+  /// compression rate; std::nullopt if nothing was pending (distinct from a
+  /// real 0.0 rate). A failed background dump rethrows as IoError naming the
+  /// dump path.
+  std::optional<double> wait();
+
+  /// Drains every in-flight dump; returns the rate of the newest one (or
+  /// std::nullopt if none was pending). The first failure propagates after
+  /// the drain.
+  std::optional<double> drain();
 
   /// True if a background dump is still running.
   [[nodiscard]] bool busy() const;
 
+  /// Number of dumps currently in flight (0..2).
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+
  private:
-  std::future<double> pending_;
+  struct Pending {
+    std::string path;
+    std::future<double> result;
+  };
+
+  /// At most this many dumps in flight (the double buffer).
+  static constexpr std::size_t kMaxInFlight = 2;
+
+  std::optional<double> collect_oldest();
+
+  std::deque<Pending> pending_;
 };
 
 }  // namespace mpcf::compression

@@ -1,0 +1,344 @@
+#include "compression/codec.h"
+
+#include <zlib.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "compression/sparse_coder.h"
+
+namespace mpcf::compression {
+
+namespace {
+
+constexpr std::uint32_t make_fourcc(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(a)) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(d)) << 24;
+}
+
+std::string stream_context(std::size_t stream_index) {
+  return stream_index == kNoStreamIndex ? std::string("stream ?")
+                                        : "stream " + std::to_string(stream_index);
+}
+
+// --- zlib layer -----------------------------------------------------------
+
+std::vector<std::uint8_t> zlib_encode(const std::uint8_t* src, std::size_t n, int level) {
+  require(level == -1 || (level >= 0 && level <= 9),
+          "zlib_encode: level " + std::to_string(level) +
+              " outside the valid range {-1, 0..9}");
+  uLongf bound = compressBound(static_cast<uLong>(n));
+  std::vector<std::uint8_t> out(bound);
+  const int rc = compress2(out.data(), &bound, src, static_cast<uLong>(n), level);
+  require(rc == Z_OK, "zlib_encode: compress2 failed at level " + std::to_string(level) +
+                          " (rc " + std::to_string(rc) + ")");
+  out.resize(bound);
+  return out;
+}
+
+void zlib_decode(const std::uint8_t* src, std::size_t n, std::uint8_t* out,
+                 std::size_t raw_bytes, const std::string& context) {
+  uLongf len = static_cast<uLongf>(raw_bytes);
+  const int rc = uncompress(out, &len, src, static_cast<uLong>(n));
+  if (rc != Z_OK || len != raw_bytes)
+    throw PreconditionError("zlib_decode (" + context + "): uncompress failed (rc " +
+                            std::to_string(rc) + ", got " + std::to_string(len) +
+                            " of " + std::to_string(raw_bytes) + " bytes)");
+}
+
+// --- sparse intermediate sizing -------------------------------------------
+
+// Worst case of the significance coder: every float its own value run, so
+// per float one zero-run varint, one value-run varint and the 4 payload
+// bytes, plus the leading length varint. Anything beyond this bound in a
+// stream directory is corruption, not data.
+std::size_t sparse_bound(std::size_t nfloats) {
+  return 16 + nfloats * (2 + sizeof(float));
+}
+
+}  // namespace
+
+// --- LZ4-class byte coder -------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kLastLiterals = 5;  ///< tail kept literal (match never covers it)
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+std::uint32_t read32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::size_t hash32(std::uint32_t v) {
+  return static_cast<std::size_t>((v * 2654435761u) >> (32 - kHashBits));
+}
+
+/// Appends the extension bytes of a length whose token nibble saturated at 15.
+void put_extended_length(std::vector<std::uint8_t>& out, std::size_t len) {
+  len -= 15;
+  while (len >= 255) {
+    out.push_back(255);
+    len -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(len));
+}
+
+void put_sequence(std::vector<std::uint8_t>& out, const std::uint8_t* literals,
+                  std::size_t nlit, std::size_t offset, std::size_t match_len) {
+  const std::size_t mcode = match_len - kMinMatch;
+  const std::uint8_t token =
+      static_cast<std::uint8_t>((nlit >= 15 ? 15 : nlit) << 4 |
+                                (mcode >= 15 ? 15 : mcode));
+  out.push_back(token);
+  if (nlit >= 15) put_extended_length(out, nlit);
+  out.insert(out.end(), literals, literals + nlit);
+  out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+  out.push_back(static_cast<std::uint8_t>(offset >> 8));
+  if (mcode >= 15) put_extended_length(out, mcode);
+}
+
+void put_last_literals(std::vector<std::uint8_t>& out, const std::uint8_t* literals,
+                       std::size_t nlit) {
+  const std::uint8_t token = static_cast<std::uint8_t>((nlit >= 15 ? 15 : nlit) << 4);
+  out.push_back(token);
+  if (nlit >= 15) put_extended_length(out, nlit);
+  out.insert(out.end(), literals, literals + nlit);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz4_compress(const std::uint8_t* src, std::size_t n) {
+  require(n < 0xffffffffu, "lz4_compress: input exceeds the 4 GiB stream limit");
+  std::vector<std::uint8_t> out;
+  if (n == 0) return out;
+  out.reserve(n / 2 + 16);
+  std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, 0xffffffffu);
+
+  const std::size_t match_limit = n - std::min(n, kLastLiterals);
+  const std::size_t scan_limit =
+      n > kLastLiterals + kMinMatch ? n - kLastLiterals - kMinMatch : 0;
+  std::size_t anchor = 0, i = 0;
+  while (i < scan_limit) {
+    const std::uint32_t seq = read32(src + i);
+    const std::size_t h = hash32(seq);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(i);
+    if (cand == 0xffffffffu || i - cand > kMaxOffset || read32(src + cand) != seq) {
+      ++i;
+      continue;
+    }
+    std::size_t mlen = kMinMatch;
+    while (i + mlen < match_limit && src[cand + mlen] == src[i + mlen]) ++mlen;
+    put_sequence(out, src + anchor, i - anchor, i - cand, mlen);
+    i += mlen;
+    anchor = i;
+  }
+  put_last_literals(out, src + anchor, n - anchor);
+  return out;
+}
+
+void lz4_decompress(const std::uint8_t* blob, std::size_t blob_bytes,
+                    std::uint8_t* out, std::size_t raw_bytes,
+                    const std::string& context) {
+  const auto fail = [&context](const char* what) {
+    throw PreconditionError("lz4_decompress (" + context + "): " + what);
+  };
+  const std::uint8_t* p = blob;
+  const std::uint8_t* end = blob + blob_bytes;
+  if (raw_bytes == 0) {
+    if (blob_bytes != 0) fail("trailing bytes after an empty payload");
+    return;
+  }
+  std::size_t oi = 0;
+  while (true) {
+    if (p >= end) fail("truncated before a sequence token");
+    const std::uint8_t token = *p++;
+    std::size_t nlit = token >> 4;
+    if (nlit == 15) {
+      std::uint8_t b;
+      do {
+        if (p >= end) fail("truncated literal-length extension");
+        b = *p++;
+        nlit += b;
+      } while (b == 255);
+    }
+    if (nlit > static_cast<std::size_t>(end - p)) fail("literal run overruns the blob");
+    if (nlit > raw_bytes - oi) fail("literal run overruns the output");
+    std::memcpy(out + oi, p, nlit);
+    p += nlit;
+    oi += nlit;
+    if (p == end) {
+      if ((token & 0x0f) != 0) fail("final sequence carries a match length");
+      if (oi != raw_bytes) fail("decoded size does not match the directory");
+      return;
+    }
+    if (end - p < 2) fail("truncated match offset");
+    const std::size_t offset = static_cast<std::size_t>(p[0]) |
+                               static_cast<std::size_t>(p[1]) << 8;
+    p += 2;
+    if (offset == 0 || offset > oi) fail("match offset outside the decoded window");
+    std::size_t mlen = token & 0x0f;
+    if (mlen == 15) {
+      std::uint8_t b;
+      do {
+        if (p >= end) fail("truncated match-length extension");
+        b = *p++;
+        mlen += b;
+      } while (b == 255);
+    }
+    mlen += kMinMatch;
+    if (mlen > raw_bytes - oi) fail("match overruns the output");
+    // Byte-wise on purpose: offsets shorter than the match length replicate
+    // the overlapping prefix (the RLE encoding of the format).
+    const std::uint8_t* m = out + oi - offset;
+    for (std::size_t k = 0; k < mlen; ++k) out[oi + k] = m[k];
+    oi += mlen;
+  }
+}
+
+// --- codec plugs ----------------------------------------------------------
+
+namespace {
+
+class ZlibCodec final : public Codec {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "zlib"; }
+  [[nodiscard]] std::uint32_t fourcc() const noexcept override {
+    return make_fourcc('Z', 'L', 'I', 'B');
+  }
+  [[nodiscard]] EncodedStream encode(const float* data, std::size_t nfloats,
+                                     int zlib_level) const override {
+    // mpcf-lint: allow(reinterpret-cast): float->byte view of the coefficient stream for the entropy coder
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(data);
+    EncodedStream s;
+    s.raw_bytes = nfloats * sizeof(float);
+    s.data = zlib_encode(bytes, s.raw_bytes, zlib_level);
+    return s;
+  }
+  void decode(const std::uint8_t* blob, std::size_t blob_bytes, std::uint64_t raw_bytes,
+              float* out, std::size_t nfloats, std::size_t stream_index) const override {
+    const std::string ctx = stream_context(stream_index);
+    if (raw_bytes != nfloats * sizeof(float))
+      throw PreconditionError("zlib codec (" + ctx + "): directory raw size " +
+                              std::to_string(raw_bytes) + " does not match the " +
+                              std::to_string(nfloats) + " expected coefficients");
+    // mpcf-lint: allow(reinterpret-cast): inflate writes the coefficient bytes straight into the float output
+    zlib_decode(blob, blob_bytes, reinterpret_cast<std::uint8_t*>(out),
+                static_cast<std::size_t>(raw_bytes), ctx);
+  }
+};
+
+class SparseZlibCodec final : public Codec {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "sparse+zlib"; }
+  [[nodiscard]] std::uint32_t fourcc() const noexcept override {
+    return make_fourcc('S', 'P', 'Z', 'L');
+  }
+  [[nodiscard]] EncodedStream encode(const float* data, std::size_t nfloats,
+                                     int zlib_level) const override {
+    const auto sparse = sparse_encode(data, nfloats);
+    EncodedStream s;
+    s.raw_bytes = sparse.size();
+    s.data = zlib_encode(sparse.data(), sparse.size(), zlib_level);
+    return s;
+  }
+  void decode(const std::uint8_t* blob, std::size_t blob_bytes, std::uint64_t raw_bytes,
+              float* out, std::size_t nfloats, std::size_t stream_index) const override {
+    const std::string ctx = stream_context(stream_index);
+    if (raw_bytes > sparse_bound(nfloats))
+      throw PreconditionError("sparse+zlib codec (" + ctx + "): directory raw size " +
+                              std::to_string(raw_bytes) +
+                              " exceeds the sparse bound for " +
+                              std::to_string(nfloats) + " coefficients");
+    std::vector<std::uint8_t> sparse(static_cast<std::size_t>(raw_bytes));
+    zlib_decode(blob, blob_bytes, sparse.data(), sparse.size(), ctx);
+    sparse_decode(sparse.data(), sparse.size(), out, nfloats, stream_index);
+  }
+};
+
+class Lz4Codec final : public Codec {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "lz4"; }
+  [[nodiscard]] std::uint32_t fourcc() const noexcept override {
+    return make_fourcc('L', 'Z', '4', 'B');
+  }
+  [[nodiscard]] EncodedStream encode(const float* data, std::size_t nfloats,
+                                     int /*zlib_level*/) const override {
+    // mpcf-lint: allow(reinterpret-cast): float->byte view of the coefficient stream for the entropy coder
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(data);
+    EncodedStream s;
+    s.raw_bytes = nfloats * sizeof(float);
+    s.data = lz4_compress(bytes, s.raw_bytes);
+    return s;
+  }
+  void decode(const std::uint8_t* blob, std::size_t blob_bytes, std::uint64_t raw_bytes,
+              float* out, std::size_t nfloats, std::size_t stream_index) const override {
+    const std::string ctx = stream_context(stream_index);
+    if (raw_bytes != nfloats * sizeof(float))
+      throw PreconditionError("lz4 codec (" + ctx + "): directory raw size " +
+                              std::to_string(raw_bytes) + " does not match the " +
+                              std::to_string(nfloats) + " expected coefficients");
+    // mpcf-lint: allow(reinterpret-cast): LZ4 decoder writes the coefficient bytes straight into the float output
+    lz4_decompress(blob, blob_bytes, reinterpret_cast<std::uint8_t*>(out),
+                   static_cast<std::size_t>(raw_bytes), ctx);
+  }
+};
+
+class SparseLz4Codec final : public Codec {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "sparse+lz4"; }
+  [[nodiscard]] std::uint32_t fourcc() const noexcept override {
+    return make_fourcc('S', 'P', 'L', '4');
+  }
+  [[nodiscard]] EncodedStream encode(const float* data, std::size_t nfloats,
+                                     int /*zlib_level*/) const override {
+    const auto sparse = sparse_encode(data, nfloats);
+    EncodedStream s;
+    s.raw_bytes = sparse.size();
+    s.data = lz4_compress(sparse.data(), sparse.size());
+    return s;
+  }
+  void decode(const std::uint8_t* blob, std::size_t blob_bytes, std::uint64_t raw_bytes,
+              float* out, std::size_t nfloats, std::size_t stream_index) const override {
+    const std::string ctx = stream_context(stream_index);
+    if (raw_bytes > sparse_bound(nfloats))
+      throw PreconditionError("sparse+lz4 codec (" + ctx + "): directory raw size " +
+                              std::to_string(raw_bytes) +
+                              " exceeds the sparse bound for " +
+                              std::to_string(nfloats) + " coefficients");
+    std::vector<std::uint8_t> sparse(static_cast<std::size_t>(raw_bytes));
+    lz4_decompress(blob, blob_bytes, sparse.data(), sparse.size(), ctx);
+    sparse_decode(sparse.data(), sparse.size(), out, nfloats, stream_index);
+  }
+};
+
+}  // namespace
+
+bool codec_known(std::uint8_t id) noexcept { return id < kCoderCount; }
+
+const Codec& codec_for(Coder coder) {
+  static const ZlibCodec zlib;
+  static const SparseZlibCodec sparse_zlib;
+  static const Lz4Codec lz4;
+  static const SparseLz4Codec sparse_lz4;
+  switch (coder) {
+    case Coder::kZlib:
+      return zlib;
+    case Coder::kSparseZlib:
+      return sparse_zlib;
+    case Coder::kLz4:
+      return lz4;
+    case Coder::kSparseLz4:
+      return sparse_lz4;
+  }
+  throw PreconditionError("codec_for: unknown coder id " +
+                          std::to_string(static_cast<unsigned>(coder)));
+}
+
+}  // namespace mpcf::compression

@@ -1,0 +1,103 @@
+// Pluggable entropy-stage interface of the dump pipeline (DESIGN.md §13).
+//
+// A Codec turns the decimated wavelet coefficients of a stream (a run of
+// whole blocks, concatenated) into a self-contained byte blob and back. The
+// lossy step of the pipeline is always the decimation — every codec here is
+// bit-exact over the coefficients it is handed, so the choice of codec is a
+// pure speed/ratio trade-off, selectable per dumped quantity through
+// CompressionParams::coder:
+//
+//   kZlib        deflate over the raw coefficient bytes (the paper's choice)
+//   kSparseZlib  zero-run significance coder, then deflate (Section 5's
+//                zerotree/SPIHT-style alternative)
+//   kLz4         in-tree LZ4-class byte coder: greedy hash-table matcher,
+//                token/literals/offset block format — ~an order of magnitude
+//                faster than deflate at a lower ratio
+//   kSparseLz4   significance coder, then the LZ4-class coder: the fast path
+//                for near-piecewise-constant quantities (Gamma), where the
+//                zero-run stripping does most of the work
+//
+// The codec id is persisted in the `.cq` header (v3 stores it with a
+// four-character tag so an unknown or rotten id fails loudly at read time),
+// and decode validates every length against the stream directory and the
+// expected coefficient count, failing with the stream index on corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcf::compression {
+
+/// Lossless back-end applied to the per-stream coefficient buffers.
+enum class Coder : std::uint8_t {
+  kZlib = 0,        ///< zlib over the raw coefficient stream (the paper's choice)
+  kSparseZlib = 1,  ///< zero-run significance coder, then zlib
+  kLz4 = 2,         ///< in-tree LZ4-class fast byte coder
+  kSparseLz4 = 3,   ///< zero-run significance coder, then the LZ4-class coder
+};
+
+/// Number of registered codecs (valid ids are [0, kCoderCount)).
+inline constexpr std::uint8_t kCoderCount = 4;
+
+/// One encoded stream: the blob plus the byte count of the intermediate
+/// representation the entropy stage consumed (raw coefficient bytes for the
+/// dense codecs, significance-coded bytes for the sparse ones) — the
+/// `raw_bytes` field of the stream directory.
+struct EncodedStream {
+  std::vector<std::uint8_t> data;
+  std::uint64_t raw_bytes = 0;
+};
+
+/// Stateless entropy-stage plug. Implementations are immutable singletons
+/// owned by the registry; encode/decode are safe to call concurrently from
+/// the pipeline workers.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// Four-character on-disk tag of the v3 `.cq` header (e.g. "ZLB6").
+  [[nodiscard]] virtual std::uint32_t fourcc() const noexcept = 0;
+
+  /// Encodes `nfloats` coefficients into a self-contained blob.
+  /// `zlib_level` is honoured by the deflate-backed codecs and ignored by
+  /// the LZ4-class ones.
+  [[nodiscard]] virtual EncodedStream encode(const float* data, std::size_t nfloats,
+                                             int zlib_level) const = 0;
+
+  /// Exact inverse: fills `out[0, nfloats)` from the blob. `raw_bytes` is
+  /// the directory's intermediate size (validated, not trusted). Throws
+  /// PreconditionError naming `stream_index` on any corrupt or truncated
+  /// input; never writes outside `out[0, nfloats)`.
+  virtual void decode(const std::uint8_t* blob, std::size_t blob_bytes,
+                      std::uint64_t raw_bytes, float* out, std::size_t nfloats,
+                      std::size_t stream_index) const = 0;
+};
+
+/// True if `id` names a registered codec.
+[[nodiscard]] bool codec_known(std::uint8_t id) noexcept;
+
+/// Registry lookup; throws PreconditionError naming the id if unknown.
+[[nodiscard]] const Codec& codec_for(Coder coder);
+
+// ---------------------------------------------------------------------------
+// In-tree LZ4-class byte coder (the raw block layer under kLz4/kSparseLz4,
+// exposed for direct testing). Format: sequences of
+//   token (hi nibble: literal count, lo nibble: match length - 4, 15 = more
+//   length bytes follow, 255-saturated) | literals | u16 LE match offset,
+// ending in a literals-only tail (match offset omitted). Decoding is fully
+// bounds-checked and throws PreconditionError on malformed input.
+
+[[nodiscard]] std::vector<std::uint8_t> lz4_compress(const std::uint8_t* src,
+                                                     std::size_t n);
+
+/// Decompresses exactly `raw_bytes` bytes into `out`; throws
+/// PreconditionError (with `context` in the message) if the blob is
+/// malformed, truncated, or decodes to a different size.
+void lz4_decompress(const std::uint8_t* blob, std::size_t blob_bytes,
+                    std::uint8_t* out, std::size_t raw_bytes,
+                    const std::string& context);
+
+}  // namespace mpcf::compression

@@ -1,37 +1,29 @@
 #include "compression/compressor.h"
 
 #include <omp.h>
-#include <zlib.h>
 
 #include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
-#include "compression/sparse_coder.h"
+#include "compression/codec.h"
 
 namespace mpcf::compression {
 
-namespace {
-
-std::vector<std::uint8_t> zlib_encode(const std::uint8_t* src, std::size_t n, int level) {
-  uLongf bound = compressBound(static_cast<uLong>(n));
-  std::vector<std::uint8_t> out(bound);
-  const int rc = compress2(out.data(), &bound, src, static_cast<uLong>(n), level);
-  require(rc == Z_OK, "zlib_encode: compress2 failed");
-  out.resize(bound);
-  return out;
+void validate_compression_params(const CompressionParams& params, int block_size) {
+  require(params.zlib_level == -1 || (params.zlib_level >= 0 && params.zlib_level <= 9),
+          "CompressionParams: zlib_level " + std::to_string(params.zlib_level) +
+              " outside the valid range {-1, 0..9}");
+  require(params.levels <= wavelet::max_levels(block_size),
+          "CompressionParams: " + std::to_string(params.levels) +
+              " wavelet levels exceed the maximum for block size " +
+              std::to_string(block_size));
+  require(codec_known(static_cast<std::uint8_t>(params.coder)),
+          "CompressionParams: unknown coder id " +
+              std::to_string(static_cast<unsigned>(params.coder)));
+  require(params.workers >= 0, "CompressionParams: negative worker count " +
+                                   std::to_string(params.workers));
 }
-
-std::vector<std::uint8_t> zlib_decode(const std::uint8_t* src, std::size_t n,
-                                      std::size_t raw_bytes) {
-  std::vector<std::uint8_t> out(raw_bytes);
-  uLongf len = static_cast<uLongf>(raw_bytes);
-  const int rc = uncompress(out.data(), &len, src, static_cast<uLong>(n));
-  require(rc == Z_OK && len == raw_bytes, "zlib_decode: uncompress failed");
-  return out;
-}
-
-}  // namespace
 
 void gather_block_quantity(const Block& block, int bs, const CompressionParams& params,
                            float* cube) {
@@ -74,8 +66,9 @@ double CompressedQuantity::compression_rate() const {
 CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& params,
                                      std::vector<WorkerTimes>* times) {
   const int bs = grid.block_size();
+  validate_compression_params(params, bs);
   const int levels = params.levels < 0 ? wavelet::max_levels(bs) : params.levels;
-  require(levels <= wavelet::max_levels(bs), "compress_quantity: too many levels");
+  const Codec& codec = codec_for(params.coder);
 
   CompressedQuantity cq;
   cq.bx = grid.blocks_x();
@@ -128,18 +121,17 @@ CompressedQuantity compress_quantity(const Grid& grid, const CompressionParams& 
 
     // Encode the concatenated stream in one shot: detail coefficients of
     // adjacent blocks assume similar ranges, so a single stream compresses
-    // better than per-block encoding (paper Section 5). The sparse coder
-    // first strips the zero runs left by the decimation.
+    // better than per-block encoding (paper Section 5). The entropy stage is
+    // the pluggable codec selected per quantity (codec.h).
     t.restart();
-    if (params.coder == Coder::kSparseZlib && !buffer.empty()) {
+    if (!buffer.empty()) {
       // mpcf-lint: allow(reinterpret-cast): byte->float view; buffer holds packed float cubes by construction
       const auto* floats = reinterpret_cast<const float*>(buffer.data());
-      const auto sparse = sparse_encode(floats, buffer.size() / sizeof(float));
-      buffer.assign(sparse.begin(), sparse.end());
+      EncodedStream es =
+          codec.encode(floats, buffer.size() / sizeof(float), params.zlib_level);
+      stream.raw_bytes = es.raw_bytes;
+      stream.data = std::move(es.data);
     }
-    stream.raw_bytes = buffer.size();
-    if (!buffer.empty())
-      stream.data = zlib_encode(buffer.data(), buffer.size(), params.zlib_level);
     if (times) (*times)[tid].enc = t.seconds();
   }
 
@@ -157,23 +149,24 @@ Field3D<float> decompress_to_field(const CompressedQuantity& cq) {
   const int bs = cq.block_size;
   Field3D<float> out(cq.bx * bs, cq.by * bs, cq.bz * bs);
   const BlockIndexer indexer(cq.bx, cq.by, cq.bz);
-  const std::size_t cube_bytes = static_cast<std::size_t>(bs) * bs * bs * sizeof(float);
+  const std::size_t cube_floats = static_cast<std::size_t>(bs) * bs * bs;
+  const std::size_t cube_bytes = cube_floats * sizeof(float);
+  const Codec& codec = codec_for(cq.coder);
 
-  for (const auto& stream : cq.streams) {
+  // Every stream decodes through the codec plug, which validates the blob
+  // against the expected coefficient count *before* handing anything back —
+  // a truncated or corrupt stream fails here naming its index, it does not
+  // silently yield zero-filled cubes.
+  for (std::size_t si = 0; si < cq.streams.size(); ++si) {
+    const auto& stream = cq.streams[si];
     if (stream.block_ids.empty()) continue;
-    auto raw = zlib_decode(stream.data.data(), stream.data.size(), stream.raw_bytes);
-    if (cq.coder == Coder::kSparseZlib) {
-      const std::size_t nfloats = stream.block_ids.size() * cube_bytes / sizeof(float);
-      std::vector<std::uint8_t> dense(nfloats * sizeof(float));
-      // mpcf-lint: allow(reinterpret-cast): sparse decoder writes floats into the byte staging buffer
-      sparse_decode(raw, reinterpret_cast<float*>(dense.data()), nfloats);
-      raw = std::move(dense);
-    }
-    require(raw.size() == stream.block_ids.size() * cube_bytes,
-            "decompress: stream size mismatch");
+    const std::size_t nfloats = stream.block_ids.size() * cube_floats;
+    std::vector<float> coeffs(nfloats);
+    codec.decode(stream.data.data(), stream.data.size(), stream.raw_bytes,
+                 coeffs.data(), nfloats, si);
     Field3D<float> cube(bs, bs, bs);
     for (std::size_t b = 0; b < stream.block_ids.size(); ++b) {
-      std::memcpy(cube.data(), raw.data() + b * cube_bytes, cube_bytes);
+      std::memcpy(cube.data(), coeffs.data() + b * cube_floats, cube_bytes);
       wavelet::inverse_3d(cube.view(), cq.levels);
       int bxc, byc, bzc;
       indexer.coords(static_cast<int>(stream.block_ids[b]), bxc, byc, bzc);

@@ -16,30 +16,36 @@
 #include <cstdint>
 #include <vector>
 
+#include "compression/codec.h"
 #include "core/profile.h"
 #include "grid/grid.h"
 #include "wavelet/interp_wavelet.h"
 
 namespace mpcf::compression {
 
-/// Lossless back-end applied to the per-thread coefficient streams.
-enum class Coder : std::uint8_t {
-  kZlib = 0,        ///< zlib over the raw coefficient stream (the paper's choice)
-  kSparseZlib = 1,  ///< zero-run significance coder, then zlib (the
-                    ///< zerotree/SPIHT-style alternative of Section 5)
-};
-
 struct CompressionParams {
   float eps = 1e-2f;  ///< decimation threshold
   wavelet::ThresholdMode mode = wavelet::ThresholdMode::kUniform;
   int levels = -1;     ///< wavelet levels; -1 = maximum for the block size
-  int zlib_level = 6;  ///< zlib effort (1 fast .. 9 best)
-  Coder coder = Coder::kZlib;
+  int zlib_level = 6;  ///< zlib effort (-1 default, 0 store, 1 fast .. 9 best)
+  Coder coder = Coder::kZlib;  ///< entropy stage (see codec.h), per quantity
   /// Dumped quantities are either raw conserved components or derived
   /// pressure; the paper dumps p and Gamma.
   bool derive_pressure = false;  ///< if true, `quantity` is ignored: dump p
   int quantity = Q_G;
+  /// Pipelined dump path only: transform/encode worker threads (0 = one per
+  /// available core). The synchronous compress_quantity keeps using the
+  /// ambient OpenMP team.
+  int workers = 0;
 };
+
+/// Validates params at ingestion, before any deferred/background work: the
+/// zlib level must be in {-1, 0..9} (an out-of-range level would otherwise
+/// surface deep inside compress2 as an unexplained failure), the level count
+/// must fit the block size, the coder must be registered, and the worker
+/// count must be non-negative. Throws PreconditionError naming the offending
+/// value.
+void validate_compression_params(const CompressionParams& params, int block_size);
 
 /// Per-worker wall-clock split of one dump (paper Table 4 / Fig. 7-right).
 struct WorkerTimes {
@@ -62,8 +68,8 @@ struct CompressedQuantity {
 
   struct Stream {
     std::vector<std::uint32_t> block_ids;
-    std::vector<std::uint8_t> data;  ///< zlib-encoded coefficients
-    std::uint64_t raw_bytes = 0;     ///< size before encoding
+    std::vector<std::uint8_t> data;  ///< entropy-encoded coefficients
+    std::uint64_t raw_bytes = 0;     ///< size before the entropy stage
   };
   std::vector<Stream> streams;
 

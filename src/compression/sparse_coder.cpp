@@ -74,14 +74,26 @@ std::vector<std::uint8_t> sparse_encode(const float* data, std::size_t n) {
   return out;
 }
 
-void sparse_decode(const std::vector<std::uint8_t>& encoded, float* out, std::size_t n) {
-  const std::uint8_t* p = encoded.data();
-  const std::uint8_t* end = p + encoded.size();
+void sparse_decode(const std::uint8_t* encoded, std::size_t encoded_bytes, float* out,
+                   std::size_t n, std::size_t stream_index) {
+  const auto fail = [stream_index](const std::string& what) {
+    std::string msg = "sparse_decode";
+    if (stream_index != kNoStreamIndex)
+      msg += " (stream " + std::to_string(stream_index) + ")";
+    throw PreconditionError(msg + ": " + what);
+  };
+  const std::uint8_t* p = encoded;
+  const std::uint8_t* end = p + encoded_bytes;
   const std::uint64_t total = get_varint(p, end);
-  require(total == n, "sparse_decode: length mismatch");
+  if (total != n)
+    fail("length " + std::to_string(total) + " does not match the expected " +
+         std::to_string(n) + " coefficients");
 
   // First pass: runs; values trail the run directory, so locate them by
-  // replaying the directory once.
+  // replaying the directory once. Every run length is validated against the
+  // remaining output budget *here*, before any write: a corrupt stream whose
+  // run sum only reaches `total` by uint64 wraparound must fail, not smash
+  // the output buffer.
   struct Run {
     std::uint64_t zeros, values;
   };
@@ -89,14 +101,22 @@ void sparse_decode(const std::vector<std::uint8_t>& encoded, float* out, std::si
   std::uint64_t seen = 0, value_count = 0;
   while (seen < total) {
     const std::uint64_t z = get_varint(p, end);
+    if (z > total - seen)
+      fail("zero run of " + std::to_string(z) + " overruns the remaining " +
+           std::to_string(total - seen) + " coefficients");
+    seen += z;
     const std::uint64_t v = get_varint(p, end);
-    runs.push_back({z, v});
-    seen += z + v;
+    if (v > total - seen)
+      fail("value run of " + std::to_string(v) + " overruns the remaining " +
+           std::to_string(total - seen) + " coefficients");
+    seen += v;
     value_count += v;
+    runs.push_back({z, v});
   }
-  require(seen == total, "sparse_decode: run directory mismatch");
-  require(static_cast<std::size_t>(end - p) == value_count * sizeof(float),
-          "sparse_decode: value payload size mismatch");
+  // value_count <= total <= n here, so the byte product cannot overflow.
+  if (static_cast<std::size_t>(end - p) != value_count * sizeof(float))
+    fail("value payload holds " + std::to_string(end - p) + " bytes, expected " +
+         std::to_string(value_count * sizeof(float)));
 
   std::size_t oi = 0;
   for (const Run& r : runs) {

@@ -7,18 +7,36 @@
 //
 // Format: u64 value_count | varint zero-run/value-run lengths alternating
 //         (starting with a zero run, possibly of length 0) | packed floats.
+//
+// Decoding is hardened against corrupt streams: every run length is bounds-
+// checked against the expected output size *before* anything is written
+// (overflow-safe — a pair of huge runs whose sum wraps to the expected total
+// must not drive out-of-bounds writes), and errors name the stream index the
+// caller is decoding so a corrupt multi-stream dump points at the bad blob.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace mpcf::compression {
 
+/// Sentinel for "not decoding a directory stream" in error messages.
+inline constexpr std::size_t kNoStreamIndex = std::numeric_limits<std::size_t>::max();
+
 /// Encodes `n` floats (mostly zeros) into the sparse representation.
 [[nodiscard]] std::vector<std::uint8_t> sparse_encode(const float* data, std::size_t n);
 
-/// Exact inverse; `n` must match the encoded length.
-void sparse_decode(const std::vector<std::uint8_t>& encoded, float* out, std::size_t n);
+/// Exact inverse; `n` must match the encoded length. Throws
+/// PreconditionError naming `stream_index` (when given) on truncated or
+/// corrupt input; never writes outside `out[0, n)`.
+void sparse_decode(const std::uint8_t* encoded, std::size_t encoded_bytes, float* out,
+                   std::size_t n, std::size_t stream_index = kNoStreamIndex);
+
+inline void sparse_decode(const std::vector<std::uint8_t>& encoded, float* out,
+                          std::size_t n, std::size_t stream_index = kNoStreamIndex) {
+  sparse_decode(encoded.data(), encoded.size(), out, n, stream_index);
+}
 
 /// Encoded size without materializing (for quick rate estimates).
 [[nodiscard]] std::size_t sparse_encoded_size(const float* data, std::size_t n);

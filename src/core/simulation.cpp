@@ -6,7 +6,7 @@
 #include <string_view>
 
 #include "common/check.h"
-#include "compression/compressor.h"
+#include "compression/pipeline.h"
 #include "eos/stiffened_gas.h"
 #include "io/compressed_file.h"
 #include "io/safe_file.h"
@@ -237,20 +237,20 @@ double Simulation::dump(const std::string& prefix, float eps_p, float eps_G) {
   compression::CompressionParams pg;
   pg.quantity = Q_G;
   pg.eps = eps_G;
-  const auto cq_g = compression::compress_quantity(grid_, pg);
-  io::write_compressed(prefix + "_G.cq", cq_g);
+  compression::PipelineStats sg;
+  compression::dump_quantity_pipelined(grid_, pg, prefix + "_G.cq", &sg);
 
   compression::CompressionParams pp;
   pp.derive_pressure = true;
   pp.eps = eps_p;
-  const auto cq_p = compression::compress_quantity(grid_, pp);
-  io::write_compressed(prefix + "_p.cq", cq_p);
+  compression::PipelineStats sp;
+  compression::dump_quantity_pipelined(grid_, pp, prefix + "_p.cq", &sp);
   profile_.io += timer.seconds();
 
-  const double raw = static_cast<double>(cq_g.uncompressed_bytes()) +
-                     static_cast<double>(cq_p.uncompressed_bytes());
-  const double comp = static_cast<double>(cq_g.compressed_bytes()) +
-                      static_cast<double>(cq_p.compressed_bytes());
+  const double raw = static_cast<double>(sg.uncompressed_bytes) +
+                     static_cast<double>(sp.uncompressed_bytes);
+  const double comp = static_cast<double>(sg.compressed_bytes) +
+                      static_cast<double>(sp.compressed_bytes);
   return comp > 0 ? raw / comp : 0.0;
 }
 

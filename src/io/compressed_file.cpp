@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "compression/codec.h"
 #include "io/safe_file.h"
 
 namespace mpcf::io {
@@ -12,18 +13,72 @@ namespace {
 
 constexpr char kMagicV1[8] = {'M', 'P', 'C', 'F', 'C', 'Q', '0', '1'};
 constexpr char kMagicV2[8] = {'M', 'P', 'C', 'F', 'C', 'Q', '0', '2'};
+constexpr char kMagicV3[8] = {'M', 'P', 'C', 'F', 'C', 'Q', '0', '3'};
 
-// deflate cannot shrink data below ~1032:1, so a directory whose raw size
+// No registered codec shrinks data below ~1032:1 (deflate's hard bound; the
+// LZ4-class format saturates near 255:1), so a directory whose raw size
 // claims more than that over the blob actually present is corrupt; checking
 // it caps attacker-controlled allocations at ~1000x the real file size.
-constexpr std::uint64_t kMaxZlibRatio = 1032;
+constexpr std::uint64_t kMaxCodecRatio = 1032;
+
+/// Blob region alignment: the directory is padded so phase-two writes start
+/// on this boundary.
+constexpr std::uint64_t kBlobAlign = 4096;
+
+/// Phase two of the aggregating writer: blobs stream through a fixed slab
+/// and reach the file as large aligned writes instead of one syscall per
+/// (possibly tiny) stream.
+class BlobCoalescer {
+ public:
+  explicit BlobCoalescer(SafeFile& f) : f_(f) { buf_.reserve(kSlab); }
+  ~BlobCoalescer() { flush(); }
+  BlobCoalescer(const BlobCoalescer&) = delete;
+  BlobCoalescer& operator=(const BlobCoalescer&) = delete;
+
+  void add(const std::uint8_t* p, std::size_t n) {
+    while (n > 0) {
+      if (buf_.empty() && n >= kSlab) {
+        const std::size_t whole = n - n % kSlab;
+        f_.write(p, whole);
+        p += whole;
+        n -= whole;
+        continue;
+      }
+      const std::size_t take = std::min(n, kSlab - buf_.size());
+      buf_.insert(buf_.end(), p, p + take);
+      p += take;
+      n -= take;
+      if (buf_.size() == kSlab) {
+        f_.write(buf_.data(), kSlab);
+        buf_.clear();
+      }
+    }
+  }
+
+  void flush() {
+    if (!buf_.empty()) {
+      f_.write(buf_.data(), buf_.size());
+      buf_.clear();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kSlab = 4u << 20;  // 4 MiB
+
+  SafeFile& f_;
+  std::vector<std::uint8_t> buf_;
+};
 
 }  // namespace
 
 std::uint64_t write_compressed(const std::string& path,
                                const compression::CompressedQuantity& cq) {
-  // Header + directory first (so offsets are known), then blobs at offsets
-  // computed by an exclusive prefix sum over encoded sizes.
+  require(compression::codec_known(static_cast<std::uint8_t>(cq.coder)),
+          "write_compressed: unknown coder id " +
+              std::to_string(static_cast<unsigned>(cq.coder)));
+  // Phase one: header + directory (so offsets are known), blob offsets by an
+  // exclusive prefix sum over encoded sizes, starting at the aligned
+  // boundary the pad below establishes.
   std::vector<std::uint8_t> header;  // bytes covered by header_crc
   for (std::int32_t v : {cq.bx, cq.by, cq.bz, cq.block_size, cq.levels, cq.quantity})
     put_bytes(header, v);
@@ -32,14 +87,18 @@ std::uint64_t write_compressed(const std::string& path,
   put_bytes(header, static_cast<std::uint8_t>(cq.coder));
   const std::uint8_t pad[2] = {0, 0};
   header.insert(header.end(), pad, pad + 2);
+  put_bytes(header, compression::codec_for(cq.coder).fourcc());
   put_bytes(header, static_cast<std::uint32_t>(cq.streams.size()));
 
   // Directory size is data-independent given the id counts, so compute it,
-  // then run the exclusive scan for the blob offsets.
+  // then pad the header region to the blob alignment boundary and run the
+  // exclusive scan for the blob offsets.
   std::uint64_t dir_bytes = 0;
   for (const auto& s : cq.streams)
     dir_bytes += 4 + 8 + 8 + 8 + 4 + 4ull * s.block_ids.size();
-  std::uint64_t offset = 8 + 4 + header.size() + dir_bytes;
+  const std::uint64_t dir_end = 8 + 4 + header.size() + dir_bytes;
+  const std::uint64_t pad_bytes = (kBlobAlign - dir_end % kBlobAlign) % kBlobAlign;
+  std::uint64_t offset = dir_end + pad_bytes;
 
   for (const auto& s : cq.streams) {
     put_bytes(header, static_cast<std::uint32_t>(s.block_ids.size()));
@@ -50,13 +109,19 @@ std::uint64_t write_compressed(const std::string& path,
     for (std::uint32_t id : s.block_ids) put_bytes(header, id);
     offset += s.data.size();
   }
+  // The alignment pad is CRC-covered like the directory so bit rot in the
+  // gap is still caught.
+  header.insert(header.end(), static_cast<std::size_t>(pad_bytes), 0);
 
   SafeFile f(path);
-  f.write(kMagicV2, 8);
+  f.write(kMagicV3, 8);
   f.put(crc32_bytes(header.data(), header.size()));
   f.write(header.data(), header.size());
+  // Phase two: coalesced aligned blob writes.
+  BlobCoalescer blobs(f);
   for (const auto& s : cq.streams)
-    if (!s.data.empty()) f.write(s.data.data(), s.data.size());
+    if (!s.data.empty()) blobs.add(s.data.data(), s.data.size());
+  blobs.flush();
   f.commit();
   return f.bytes_written();
 }
@@ -67,13 +132,15 @@ compression::CompressedQuantity read_compressed(const std::string& path) {
   char magic[8];
   cur.read(magic, 8);
   int version;
-  if (std::memcmp(magic, kMagicV2, 8) == 0) {
+  if (std::memcmp(magic, kMagicV3, 8) == 0) {
+    version = 3;
+  } else if (std::memcmp(magic, kMagicV2, 8) == 0) {
     version = 2;
   } else {
     require(std::memcmp(magic, kMagicV1, 8) == 0, "read_compressed: bad magic");
     version = 1;
   }
-  const std::uint32_t header_crc = version == 2 ? cur.get<std::uint32_t>() : 0;
+  const std::uint32_t header_crc = version >= 2 ? cur.get<std::uint32_t>() : 0;
   const std::size_t crc_begin = cur.offset();
 
   compression::CompressedQuantity cq;
@@ -85,13 +152,32 @@ compression::CompressedQuantity read_compressed(const std::string& path) {
   cq.quantity = cur.get<std::int32_t>();
   cq.eps = cur.get<float>();
   cq.derived_pressure = cur.get<std::uint8_t>() != 0;
-  cq.coder = static_cast<compression::Coder>(cur.get<std::uint8_t>());
+  const std::uint8_t coder_id = cur.get<std::uint8_t>();
   cur.skip(2);  // pad
+  if (version >= 3) {
+    // The codec registry decides what the coder byte may name; the stored
+    // fourcc must agree, so a rotten or unknown id cannot route a blob to
+    // the wrong decoder.
+    require(compression::codec_known(coder_id),
+            "read_compressed: unknown coder id " + std::to_string(coder_id));
+    cq.coder = static_cast<compression::Coder>(coder_id);
+    const auto fourcc = cur.get<std::uint32_t>();
+    require(fourcc == compression::codec_for(cq.coder).fourcc(),
+            "read_compressed: codec tag mismatch for coder id " +
+                std::to_string(coder_id));
+  } else {
+    // v1/v2 predate the codec registry: only the two original zlib-backed
+    // coders can legitimately appear.
+    require(coder_id <= 1, "read_compressed: coder id " + std::to_string(coder_id) +
+                               " impossible in a v" + std::to_string(version) +
+                               " file");
+    cq.coder = static_cast<compression::Coder>(coder_id);
+  }
   const auto nstreams = cur.get<std::uint32_t>();
   // Every stream costs at least one fixed-size directory entry; anything
   // larger than the remaining bytes allow is corrupt (checked before the
   // resize so hostile counts cannot drive multi-GB allocations).
-  const std::size_t entry_bytes = version == 2 ? 32 : 28;
+  const std::size_t entry_bytes = version >= 2 ? 32 : 28;
   require(nstreams <= cur.remaining() / entry_bytes,
           "read_compressed: corrupt stream count");
   cq.streams.resize(nstreams);
@@ -107,19 +193,26 @@ compression::CompressedQuantity read_compressed(const std::string& path) {
     s.raw_bytes = cur.get<std::uint64_t>();
     blobs[i].size = cur.get<std::uint64_t>();
     blobs[i].offset = cur.get<std::uint64_t>();
-    blobs[i].crc = version == 2 ? cur.get<std::uint32_t>() : 0;
+    blobs[i].crc = version >= 2 ? cur.get<std::uint32_t>() : 0;
     require(nids <= cur.remaining() / 4, "read_compressed: corrupt id count");
     // Overflow-safe window check (`offset + size <= total` would wrap).
     require(blobs[i].size <= bytes.size() &&
                 blobs[i].offset <= bytes.size() - blobs[i].size,
             "read_compressed: bad offsets");
-    require(s.raw_bytes <= kMaxZlibRatio * blobs[i].size + 4096,
+    require(s.raw_bytes <= kMaxCodecRatio * blobs[i].size + 4096,
             "read_compressed: implausible raw size");
     s.block_ids.resize(nids);
     for (auto& id : s.block_ids) id = cur.get<std::uint32_t>();
   }
 
-  if (version == 2)
+  if (version >= 3) {
+    // Skip (and CRC-cover) the alignment pad between directory and blobs.
+    const std::size_t pad =
+        static_cast<std::size_t>((kBlobAlign - cur.offset() % kBlobAlign) % kBlobAlign);
+    require(pad <= cur.remaining(), "read_compressed: truncated alignment pad");
+    cur.skip(pad);
+  }
+  if (version >= 2)
     require(crc32_bytes(bytes.data() + crc_begin, cur.offset() - crc_begin) ==
                 header_crc,
             "read_compressed: header CRC mismatch");
@@ -127,7 +220,7 @@ compression::CompressedQuantity read_compressed(const std::string& path) {
   // Copy the blobs only once the whole directory is validated.
   for (std::size_t i = 0; i < nstreams; ++i) {
     const std::uint8_t* blob = cur.window(blobs[i].offset, blobs[i].size);
-    if (version == 2)
+    if (version >= 2)
       require(crc32_bytes(blob, blobs[i].size) == blobs[i].crc,
               "read_compressed: stream CRC mismatch");
     cq.streams[i].data.assign(blob, blob + blobs[i].size);

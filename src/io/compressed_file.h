@@ -5,26 +5,41 @@
 // sizes — the serial equivalent of the MPI_Exscan + collective-write scheme;
 // the cluster layer reuses this writer through the same offset discipline.
 //
+// The writer is the two-phase aggregator of the dump pipeline (DESIGN.md
+// §13): phase one lays out the directory and runs the exclusive scan over
+// the blob sizes; phase two streams the blobs through a coalescing buffer
+// that issues large 4 MiB writes starting at a 4 KiB-aligned file offset
+// (the directory is zero-padded up to the alignment boundary; the pad is
+// covered by the header CRC so bit rot there is still caught).
+//
 // Files are written atomically (io::SafeFile: temp + fsync + rename) and
 // are integrity-checked: a CRC32 over the header + directory and one CRC32
 // per stream blob, so truncation, torn tails, and single-bit rot all fail
 // loudly at read time. The reader parses through a bounds-checked cursor —
 // corrupt directory fields (stream counts, id counts, blob offsets/sizes,
-// raw sizes) are rejected before any allocation or copy.
+// raw sizes, codec ids) are rejected before any allocation or copy.
 //
-// v2 layout ("MPCFCQ02", written by write_compressed; little endian):
-//   magic "MPCFCQ02"                                    8 bytes
-//   u32 header_crc   CRC32 of header+directory below    4
+// v3 layout ("MPCFCQ03", written by write_compressed; little endian):
+//   magic "MPCFCQ03"                                    8 bytes
+//   u32 header_crc   CRC32 of header+directory+pad      4
 //   i32 bx, by, bz, block_size, levels, quantity        24
 //   f32 eps, u8 derived_pressure, u8 coder, u8 pad[2]   8
+//   u32 codec_fourcc  tag of the registered codec       4
 //   u32 stream_count                                    4
 //   per stream: u32 id_count, u64 raw_bytes, u64 size,  32 + 4*id_count
 //               u64 offset (from file start),
 //               u32 blob_crc, u32 ids[]
+//   zero pad to the next 4 KiB boundary (CRC-covered)
 //   stream blobs at their offsets
 //
-// v1 ("MPCFCQ01": no CRC fields, 28-byte directory entries) is still read
-// for backward compatibility, with full bounds checking.
+// The codec fourcc must match the registered codec for the stored coder id —
+// an unknown or rotten codec byte fails loudly instead of feeding a blob to
+// the wrong decoder.
+//
+// v2 ("MPCFCQ02": no codec fourcc, no alignment pad) and v1 ("MPCFCQ01": no
+// CRC fields, 28-byte directory entries) are still read for backward
+// compatibility, with full bounds checking; both predate the codec registry,
+// so their coder byte may only name the two original zlib-backed coders.
 #pragma once
 
 #include <string>
@@ -37,7 +52,7 @@ namespace mpcf::io {
 std::uint64_t write_compressed(const std::string& path,
                                const compression::CompressedQuantity& cq);
 
-/// Reads a dump written by write_compressed (v2 or legacy v1).
+/// Reads a dump written by write_compressed (v3 or legacy v2/v1).
 [[nodiscard]] compression::CompressedQuantity read_compressed(const std::string& path);
 
 }  // namespace mpcf::io

@@ -28,8 +28,9 @@ TEST(AsyncDumper, ProducesSameFieldAsSynchronousPipeline) {
   const std::string path = ::testing::TempDir() + "/mpcf_async.cq";
   AsyncDumper dumper;
   dumper.dump(g, p, path);
-  const double rate = dumper.wait();
-  EXPECT_GT(rate, 1.0);
+  const auto rate = dumper.wait();
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_GT(*rate, 1.0);
 
   const auto sync_cq = compress_quantity(g, p);
   const auto f_sync = decompress_to_field(sync_cq);
@@ -75,16 +76,21 @@ TEST(AsyncDumper, OverlapsWithSolverSteps) {
   dumper.dump(sim.grid(), CompressionParams{}, path);
   // Stepping while the dump is in flight must be safe.
   for (int s = 0; s < 3; ++s) sim.step();
-  const double rate = dumper.wait();
-  EXPECT_GT(rate, 1.0);
+  const auto rate = dumper.wait();
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_GT(*rate, 1.0);
   EXPECT_FALSE(dumper.busy());
   std::remove(path.c_str());
 }
 
-TEST(AsyncDumper, WaitWithoutDumpIsZero) {
+TEST(AsyncDumper, WaitWithoutDumpIsNullopt) {
+  // Regression: the old API returned the sentinel 0.0 here, indistinguishable
+  // from a real zero compression rate.
   AsyncDumper dumper;
-  EXPECT_DOUBLE_EQ(dumper.wait(), 0.0);
+  EXPECT_EQ(dumper.wait(), std::nullopt);
+  EXPECT_EQ(dumper.drain(), std::nullopt);
   EXPECT_FALSE(dumper.busy());
+  EXPECT_EQ(dumper.in_flight(), 0u);
 }
 
 TEST(AsyncDumper, SparsePathMatchesSynchronousPipelineBitwise) {
@@ -101,7 +107,9 @@ TEST(AsyncDumper, SparsePathMatchesSynchronousPipelineBitwise) {
   const std::string path = ::testing::TempDir() + "/mpcf_async_sparse_eq.cq";
   AsyncDumper dumper;
   dumper.dump(g, p, path);
-  EXPECT_GT(dumper.wait(), 1.0);
+  const auto rate = dumper.wait();
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_GT(*rate, 1.0);
 
   const auto f_sync = decompress_to_field(compress_quantity(g, p));
   const auto f_async = decompress_to_field(io::read_compressed(path));
@@ -111,6 +119,56 @@ TEST(AsyncDumper, SparsePathMatchesSynchronousPipelineBitwise) {
         ASSERT_EQ(f_async(ix, iy, iz), f_sync(ix, iy, iz))
             << "at " << ix << "," << iy << "," << iz;
   std::remove(path.c_str());
+}
+
+TEST(AsyncDumper, DoubleBufferedDumpsBothLand) {
+  // Two dumps may be in flight at once (double buffering): the second
+  // dump() must not block on the first, and both files must verify.
+  Grid g = make_grid();
+  CompressionParams p;
+  p.eps = 1e-2f;
+  p.quantity = Q_G;
+  const std::string a = ::testing::TempDir() + "/mpcf_async_db_a.cq";
+  const std::string b = ::testing::TempDir() + "/mpcf_async_db_b.cq";
+
+  AsyncDumper dumper;
+  dumper.dump(g, p, a);
+  dumper.dump(g, p, b);  // must not wait for the first
+  EXPECT_EQ(dumper.in_flight(), 2u);
+  const auto rate = dumper.drain();
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_GT(*rate, 1.0);
+  EXPECT_EQ(dumper.in_flight(), 0u);
+
+  const auto fa = decompress_to_field(io::read_compressed(a));
+  const auto fb = decompress_to_field(io::read_compressed(b));
+  for (int iz = 0; iz < 32; ++iz)
+    for (int iy = 0; iy < 32; ++iy)
+      for (int ix = 0; ix < 32; ++ix) ASSERT_EQ(fa(ix, iy, iz), fb(ix, iy, iz));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(AsyncDumper, ThirdDumpWaitsForOldestOnly) {
+  // A third dump() collects the oldest in-flight dump, never more: the
+  // dumper caps at two staged snapshots.
+  Grid g = make_grid();
+  CompressionParams p;
+  p.eps = 1e-2f;
+  p.quantity = Q_G;
+  AsyncDumper dumper;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 4; ++i) {
+    paths.push_back(::testing::TempDir() + "/mpcf_async_seq_" + std::to_string(i) +
+                    ".cq");
+    dumper.dump(g, p, paths.back());
+    EXPECT_LE(dumper.in_flight(), 2u);
+  }
+  dumper.drain();
+  for (const auto& path : paths) {
+    EXPECT_NO_THROW((void)io::read_compressed(path));
+    std::remove(path.c_str());
+  }
 }
 
 TEST(AsyncDumper, RejectsTooManyWaveletLevels) {
@@ -132,7 +190,9 @@ TEST(AsyncDumper, SparseCoderPathWorks) {
   const std::string path = ::testing::TempDir() + "/mpcf_async_sparse.cq";
   AsyncDumper dumper;
   dumper.dump(g, p, path);
-  EXPECT_GT(dumper.wait(), 1.0);
+  const auto rate = dumper.wait();
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_GT(*rate, 1.0);
   const auto rt = io::read_compressed(path);
   EXPECT_EQ(rt.coder, Coder::kSparseZlib);
   const auto f = decompress_to_field(rt);

@@ -452,6 +452,138 @@ TEST_F(CompressedCorruption, WriteFaultsNeverPublishAPartialFile) {
   std::remove(out.c_str());
 }
 
+TEST_F(CompressedCorruption, EveryRegisteredCodecSurvivesTheMatrix) {
+  // The corruption matrix holds for every codec the registry knows: v3
+  // files CRC-cover header, directory, pad and blobs, so truncation and bit
+  // rot fail at read time regardless of the entropy stage.
+  for (std::uint8_t id = 0; id < compression::kCoderCount; ++id) {
+    Grid g(1, 1, 1, 8, 1e-3);
+    std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.2e-3}};
+    set_cloud_ic(g, one, TwoPhaseIC{});
+    compression::CompressionParams p;
+    p.eps = 1e-3f;
+    p.quantity = Q_G;
+    p.coder = static_cast<compression::Coder>(id);
+    const auto cq = compression::compress_quantity(g, p);
+    const std::string path =
+        ::testing::TempDir() + "/mpcf_fault_codec_" + std::to_string(id) + ".cq";
+    io::write_compressed(path, cq);
+    const auto bytes = slurp(path);
+
+    const auto rt = io::read_compressed(path);
+    EXPECT_EQ(rt.coder, p.coder);
+    EXPECT_NO_THROW((void)compression::decompress_to_field(rt));
+
+    for (std::size_t cut = 0; cut < bytes.size(); cut += 97) {
+      spit(path, {bytes.begin(), bytes.begin() + cut});
+      EXPECT_THROW((void)io::read_compressed(path), PreconditionError)
+          << "codec " << int(id) << " truncated at byte " << cut;
+    }
+    for (std::size_t byte = 0; byte < bytes.size(); byte += 101) {
+      auto corrupt = bytes;
+      corrupt[byte] ^= 1u << (byte % 8);
+      spit(path, corrupt);
+      EXPECT_THROW((void)io::read_compressed(path), PreconditionError)
+          << "codec " << int(id) << " bit flip at byte " << byte;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// --- Sparse-stream corruption (decoder-level, below the file CRCs) --------
+
+compression::CompressedQuantity make_sparse_cq() {
+  Grid g(1, 1, 1, 8, 1e-3);
+  std::vector<Bubble> one{Bubble{0.5e-3, 0.5e-3, 0.5e-3, 0.2e-3}};
+  set_cloud_ic(g, one, TwoPhaseIC{});
+  compression::CompressionParams p;
+  p.eps = 1e-3f;
+  p.quantity = Q_G;
+  p.coder = compression::Coder::kSparseZlib;
+  return compression::compress_quantity(g, p);
+}
+
+/// Re-encodes a sparse payload into the stream so the zlib layer and the
+/// directory stay self-consistent: only the sparse decoder can notice.
+void replace_sparse_payload(compression::CompressedQuantity::Stream& stream,
+                            const std::vector<std::uint8_t>& sparse) {
+  uLongf bound = compressBound(static_cast<uLong>(sparse.size()));
+  stream.data.resize(bound);
+  ASSERT_EQ(compress2(stream.data.data(), &bound, sparse.data(),
+                      static_cast<uLong>(sparse.size()), 6),
+            Z_OK);
+  stream.data.resize(bound);
+  stream.raw_bytes = sparse.size();
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+TEST(SparseCorruption, TruncatedSparseStreamIsRefusedWithStreamIndex) {
+  // Regression for the vacuous post-decode size check: a sparse stream cut
+  // mid-payload must be refused by the decoder itself, naming the stream,
+  // instead of yielding silently wrong cubes.
+  auto cq = make_sparse_cq();
+  ASSERT_FALSE(cq.streams.empty());
+  // Recover the stream's sparse bytes, chop the tail, re-encode consistently.
+  std::vector<std::uint8_t> sparse(cq.streams[0].raw_bytes);
+  uLongf len = static_cast<uLongf>(sparse.size());
+  ASSERT_EQ(uncompress(sparse.data(), &len, cq.streams[0].data.data(),
+                       static_cast<uLong>(cq.streams[0].data.size())),
+            Z_OK);
+  ASSERT_GT(sparse.size(), 4u);
+  sparse.resize(sparse.size() - 3);
+  replace_sparse_payload(cq.streams[0], sparse);
+  try {
+    (void)compression::decompress_to_field(cq);
+    FAIL() << "truncated sparse stream decoded silently";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("stream 0"), std::string::npos)
+        << "error does not name the stream: " << e.what();
+  }
+}
+
+TEST(SparseCorruption, WrappingRunLengthsAreRejectedBeforeAnyWrite) {
+  // Regression for the uint64-wrap OOB write: two runs whose sum wraps to
+  // exactly the expected total used to pass the old `seen == total` check
+  // and drive a multi-exabyte zero-fill through the output buffer. The
+  // hardened decoder bounds every run against the remaining budget first.
+  auto cq = make_sparse_cq();
+  ASSERT_FALSE(cq.streams.empty());
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cq.streams[0].block_ids.size()) * 8 * 8 * 8;
+  // zero run + value run sum to total only via uint64 wraparound, and the
+  // value count is a multiple of 2^62 so the old payload-size check
+  // (value_count * 4, also wrapping) saw the empty payload as consistent.
+  const std::uint64_t values = std::uint64_t{1} << 62;
+  const std::uint64_t zeros = std::uint64_t{0} - values + total;
+  std::vector<std::uint8_t> sparse;
+  put_varint(sparse, total);
+  put_varint(sparse, zeros);
+  put_varint(sparse, values);
+  replace_sparse_payload(cq.streams[0], sparse);
+  EXPECT_THROW((void)compression::decompress_to_field(cq), PreconditionError);
+}
+
+TEST(SparseCorruption, LengthMismatchNamesTheExpectedCount) {
+  // A sparse header claiming a different coefficient count than the block
+  // directory implies must fail up front (this is what the old vacuous
+  // `require` was meant to catch).
+  auto cq = make_sparse_cq();
+  ASSERT_FALSE(cq.streams.empty());
+  std::vector<std::uint8_t> sparse;
+  put_varint(sparse, 7);  // bogus total
+  put_varint(sparse, 7);
+  put_varint(sparse, 0);
+  replace_sparse_payload(cq.streams[0], sparse);
+  EXPECT_THROW((void)compression::decompress_to_field(cq), PreconditionError);
+}
+
 // --- Compressed-quantity v1 backward compatibility -----------------------
 
 void write_v1_cq(const std::string& path, const compression::CompressedQuantity& cq) {
@@ -533,6 +665,69 @@ TEST(CompressedV1Compat, ImplausibleRawSizeIsRejectedBeforeAllocation) {
   const std::string path = ::testing::TempDir() + "/mpcf_huge_raw.cq";
   cq.streams[0].raw_bytes = 1ull << 50;
   write_v1_cq(path, cq);
+  EXPECT_THROW((void)io::read_compressed(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+// --- Compressed-quantity v2 backward compatibility -----------------------
+
+void write_v2_cq(const std::string& path, const compression::CompressedQuantity& cq,
+                 std::uint8_t coder_id) {
+  std::vector<std::uint8_t> header;
+  for (std::int32_t v : {cq.bx, cq.by, cq.bz, cq.block_size, cq.levels, cq.quantity})
+    io::put_bytes(header, v);
+  io::put_bytes(header, cq.eps);
+  io::put_bytes(header, static_cast<std::uint8_t>(cq.derived_pressure));
+  io::put_bytes(header, coder_id);
+  header.push_back(0);
+  header.push_back(0);
+  io::put_bytes(header, static_cast<std::uint32_t>(cq.streams.size()));
+  std::uint64_t dir_bytes = 0;
+  for (const auto& s : cq.streams) dir_bytes += 32 + 4ull * s.block_ids.size();
+  std::uint64_t offset = 8 + 4 + header.size() + dir_bytes;
+  for (const auto& s : cq.streams) {
+    io::put_bytes(header, static_cast<std::uint32_t>(s.block_ids.size()));
+    io::put_bytes(header, s.raw_bytes);
+    io::put_bytes(header, static_cast<std::uint64_t>(s.data.size()));
+    io::put_bytes(header, offset);
+    io::put_bytes(header, io::crc32_bytes(s.data.data(), s.data.size()));
+    for (std::uint32_t id : s.block_ids) io::put_bytes(header, id);
+    offset += s.data.size();
+  }
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), {'M', 'P', 'C', 'F', 'C', 'Q', '0', '2'});
+  io::put_bytes(out, io::crc32_bytes(header.data(), header.size()));
+  out.insert(out.end(), header.begin(), header.end());
+  for (const auto& s : cq.streams) out.insert(out.end(), s.data.begin(), s.data.end());
+  spit(path, out);
+}
+
+TEST(CompressedV2Compat, LegacyFilesStillReadAndDecode) {
+  const auto cq = make_cq();
+  const std::string path = ::testing::TempDir() + "/mpcf_v2.cq";
+  write_v2_cq(path, cq, static_cast<std::uint8_t>(cq.coder));
+  const auto rt = io::read_compressed(path);
+  ASSERT_EQ(rt.streams.size(), cq.streams.size());
+  for (std::size_t s = 0; s < rt.streams.size(); ++s) {
+    EXPECT_EQ(rt.streams[s].block_ids, cq.streams[s].block_ids);
+    EXPECT_EQ(rt.streams[s].data, cq.streams[s].data);
+  }
+  const auto f_new = compression::decompress_to_field(cq);
+  const auto f_old = compression::decompress_to_field(rt);
+  for (int iz = 0; iz < 8; ++iz)
+    for (int iy = 0; iy < 8; ++iy)
+      for (int ix = 0; ix < 8; ++ix) ASSERT_EQ(f_old(ix, iy, iz), f_new(ix, iy, iz));
+  std::remove(path.c_str());
+}
+
+TEST(CompressedV2Compat, PostRegistryCoderIdsAreImpossibleInV2) {
+  // v1/v2 predate the codec registry: a coder byte naming kLz4 or beyond in
+  // an old file is rot, not data, and must be refused up front.
+  const auto cq = make_cq();
+  const std::string path = ::testing::TempDir() + "/mpcf_v2_badcoder.cq";
+  write_v2_cq(path, cq, 2);  // kLz4: cannot exist in a v2 file
+  EXPECT_THROW((void)io::read_compressed(path), PreconditionError);
+  write_v2_cq(path, cq, 200);  // entirely unknown
   EXPECT_THROW((void)io::read_compressed(path), PreconditionError);
   std::remove(path.c_str());
 }
@@ -726,7 +921,15 @@ TEST(AsyncDumperFault, BackgroundWriteFailureSurfacesInWaitNotDtor) {
     compression::AsyncDumper dumper;
     io::fault::arm({io::fault::Kind::kEnospc, 0, 0, 0});
     dumper.dump(g, p, path);
-    EXPECT_THROW(dumper.wait(), IoError);
+    // Regression: the failure must name which dump died, not surface as a
+    // bare deferred exception.
+    try {
+      dumper.wait();
+      FAIL() << "background ENOSPC did not surface in wait()";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << "error does not name the dump path: " << e.what();
+    }
     EXPECT_FALSE(fs::exists(path)) << "failed dump published a file";
     EXPECT_FALSE(fs::exists(path + ".tmp"));
   }
