@@ -1,5 +1,8 @@
 #include "compression/async_dumper.h"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -57,9 +60,19 @@ AsyncDumper::~AsyncDumper() {
   }
 }
 
-void AsyncDumper::dump(const Grid& grid, const CompressionParams& params,
+void AsyncDumper::dump(const Grid& grid, const CompressionParams& in_params,
                        const std::string& path) {
-  validate_compression_params(params, grid.block_size());
+  validate_compression_params(in_params, grid.block_size());
+  CompressionParams params = in_params;
+  if (params.workers == 0) {
+    // workers == 0 means "one per core" on the synchronous path, but here up
+    // to kMaxInFlight dumps run concurrently BESIDE the stepping solver, so
+    // the default would oversubscribe the machine ~2x. Cap the background
+    // default so all in-flight dumps together use at most half the cores;
+    // callers who want the full machine set workers explicitly.
+    params.workers = std::max(
+        1, omp_get_max_threads() / (2 * static_cast<int>(kMaxInFlight)));
+  }
   while (pending_.size() >= kMaxInFlight) collect_oldest();
   auto snap = std::make_shared<const Snapshot>(grid, params);
   Pending p;

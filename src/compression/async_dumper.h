@@ -11,7 +11,11 @@
 // dump() only blocks when a third would start. Each in-flight dump stages
 // one quantity (the paper's 10%-of-footprint budget per dump; callers who
 // must cap at one copy can wait() between dumps). Background worker count
-// follows CompressionParams::workers.
+// follows CompressionParams::workers, except that the workers == 0 default
+// is capped so the in-flight dumps together claim at most half the cores —
+// the "one per core" meaning of 0 is for the synchronous foreground path,
+// and with two dumps in flight it would oversubscribe the solver ~2x. Pass
+// an explicit worker count to dedicate more of the machine to dumping.
 #pragma once
 
 #include <deque>

@@ -58,7 +58,7 @@ class Codec {
   virtual ~Codec() = default;
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
-  /// Four-character on-disk tag of the v3 `.cq` header (e.g. "ZLB6").
+  /// Four-character on-disk tag of the v3 `.cq` header (e.g. "ZLIB").
   [[nodiscard]] virtual std::uint32_t fourcc() const noexcept = 0;
 
   /// Encodes `nfloats` coefficients into a self-contained blob.

@@ -34,8 +34,9 @@ struct CompressionParams {
   bool derive_pressure = false;  ///< if true, `quantity` is ignored: dump p
   int quantity = Q_G;
   /// Pipelined dump path only: transform/encode worker threads (0 = one per
-  /// available core). The synchronous compress_quantity keeps using the
-  /// ambient OpenMP team.
+  /// available core; AsyncDumper caps this default so background dumps never
+  /// oversubscribe the stepping solver — see async_dumper.h). The
+  /// synchronous compress_quantity keeps using the ambient OpenMP team.
   int workers = 0;
 };
 

@@ -31,7 +31,17 @@ constexpr std::uint64_t kBlobAlign = 4096;
 class BlobCoalescer {
  public:
   explicit BlobCoalescer(SafeFile& f) : f_(f) { buf_.reserve(kSlab); }
-  ~BlobCoalescer() { flush(); }
+  /// The explicit flush() in write_compressed is the real error path; this
+  /// one only runs during the unwind of a write that already failed (buf_
+  /// still populated), where a persistent fault (disk genuinely full) would
+  /// throw a second time from a noexcept destructor and terminate — so it
+  /// swallows, like SafeFile's own destructor.
+  ~BlobCoalescer() {
+    try {
+      flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
   BlobCoalescer(const BlobCoalescer&) = delete;
   BlobCoalescer& operator=(const BlobCoalescer&) = delete;
 

@@ -85,9 +85,10 @@ WriteFault on_write(std::size_t requested, std::size_t* torn_bytes) {
   if (s.plan.kind != Kind::kEnospc && s.plan.kind != Kind::kTornWrite)
     return WriteFault::kNone;
   const long index = s.writes_seen++;
-  if (index != s.plan.nth_write) return WriteFault::kNone;
+  if (s.plan.sticky ? index < s.plan.nth_write : index != s.plan.nth_write)
+    return WriteFault::kNone;
   const Kind kind = s.plan.kind;
-  s.plan = Plan{};  // one-shot
+  if (!s.plan.sticky) s.plan = Plan{};  // one-shot unless the fault persists
   s.has_fired = true;
   if (kind == Kind::kTornWrite) {
     *torn_bytes = requested / 2;

@@ -15,8 +15,12 @@
 //   kBitFlip   bit `bit` of byte `byte` of the committed file is flipped
 //              after the rename (silent single-bit rot)
 //
-// Plans are one-shot: a plan fires once, then disarms itself, so a retry
-// after the injected failure behaves like healthy hardware. Control is
+// Plans are one-shot by default: a plan fires once, then disarms itself, so
+// a retry after the injected failure behaves like healthy hardware. A plan
+// armed with `sticky` instead keeps failing every write from the Nth on —
+// that is what a genuinely full disk looks like, and it is the only way to
+// exercise error paths that retry a failed write during stack unwinding
+// (a one-shot plan would let the retry "succeed"). Control is
 // programmatic (arm/disarm) or via the MPCF_IO_FAULT environment variable
 // ("enospc:N" | "torn:N" | "truncate:BYTE" | "bitflip:BYTE[:BIT]"),
 // re-parsed by arm_from_env(). Zero overhead concern: all hooks sit on the
@@ -42,6 +46,10 @@ struct Plan {
   long nth_write = 0;      ///< 0-based index of the failing write call
   std::uint64_t byte = 0;  ///< truncate length / bit-flip byte offset
   int bit = 0;             ///< bit-flip bit index (0..7)
+  /// kEnospc only: keep failing every write from nth_write on (a persistent
+  /// fault, e.g. a genuinely full disk) instead of firing once. Programmatic
+  /// arm() only — the env knob always arms one-shot plans.
+  bool sticky = false;
 };
 
 /// Arms a one-shot plan and resets the write-call counter.

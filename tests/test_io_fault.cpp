@@ -452,6 +452,39 @@ TEST_F(CompressedCorruption, WriteFaultsNeverPublishAPartialFile) {
   std::remove(out.c_str());
 }
 
+TEST_F(CompressedCorruption, PersistentEnospcSurfacesAsCatchableError) {
+  // Regression: the coalescing writer's destructor used to retry the failed
+  // flush during stack unwinding; on a *persistent* write failure (a disk
+  // that is genuinely full keeps failing, unlike a one-shot injected plan)
+  // the retry threw out of a noexcept destructor and the process died in
+  // std::terminate instead of surfacing an IoError. Sweep the sticky fault
+  // across every write call: each must throw a catchable IoError.
+  FaultGuard guard;
+  const std::string out = ::testing::TempDir() + "/mpcf_fault_sticky.cq";
+  std::remove(out.c_str());
+  const long healthy_writes = [&] {
+    long n = 0;
+    for (;; ++n) {  // count the write calls of one healthy save
+      io::fault::arm({io::fault::Kind::kEnospc, n, 0, 0});
+      try {
+        io::write_compressed(out, cq_);
+        return n;
+      } catch (const IoError&) {
+      }
+    }
+  }();
+  std::remove(out.c_str());
+  for (long nth = 0; nth < healthy_writes; ++nth) {
+    io::fault::arm({io::fault::Kind::kEnospc, nth, 0, 0, /*sticky=*/true});
+    EXPECT_THROW((void)io::write_compressed(out, cq_), IoError)
+        << "sticky ENOSPC from write " << nth;
+    io::fault::disarm();
+    EXPECT_FALSE(fs::exists(out)) << "partial file published, nth=" << nth;
+    EXPECT_FALSE(fs::exists(out + ".tmp")) << "temp left behind, nth=" << nth;
+  }
+  std::remove(out.c_str());
+}
+
 TEST_F(CompressedCorruption, EveryRegisteredCodecSurvivesTheMatrix) {
   // The corruption matrix holds for every codec the registry knows: v3
   // files CRC-cover header, directory, pad and blobs, so truncation and bit
@@ -938,6 +971,23 @@ TEST(AsyncDumperFault, BackgroundWriteFailureSurfacesInWaitNotDtor) {
     compression::AsyncDumper dumper;
     io::fault::arm({io::fault::Kind::kEnospc, 0, 0, 0});
     dumper.dump(g, p, path);
+  }
+  EXPECT_FALSE(fs::exists(path));
+  {
+    // A persistent failure (sticky: the disk stays full, every retry fails
+    // too) must still surface as a catchable IoError from wait(), never as
+    // std::terminate out of the writer's unwinding destructors.
+    compression::AsyncDumper dumper;
+    io::fault::arm({io::fault::Kind::kEnospc, 0, 0, 0, /*sticky=*/true});
+    dumper.dump(g, p, path);
+    try {
+      dumper.wait();
+      FAIL() << "persistent background ENOSPC did not surface in wait()";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << "error does not name the dump path: " << e.what();
+    }
+    io::fault::disarm();
   }
   EXPECT_FALSE(fs::exists(path));
 }
