@@ -115,8 +115,12 @@ int main() {
   using perf::TracePhase;
   const auto& tr = traced->tracer();
   std::puts("\nphase split of a 2-step traced overlapped run (thread-seconds):");
+  // kInterior/kHalo carry the membership split on both schedules; the fused
+  // pipeline additionally splits its block tasks into lab assembly (kLab)
+  // and pure RHS (kRhs) spans, so RHS time never reads as zero under fusion.
   for (const TracePhase p : {TracePhase::kExchange, TracePhase::kInterior,
-                             TracePhase::kHalo, TracePhase::kUpdate, TracePhase::kReduce})
+                             TracePhase::kHalo, TracePhase::kLab, TracePhase::kRhs,
+                             TracePhase::kUpdate, TracePhase::kReduce})
     std::printf("  %-9s %9.2f ms\n", perf::trace_phase_name(p),
                 1e3 * tr.total_seconds(p));
 

@@ -1,5 +1,7 @@
 #include "cluster/cluster_simulation.h"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 
@@ -472,7 +474,127 @@ double ClusterSimulation::compute_dt() {
   return front_sim().params().cfl * front_sim().grid().h() / gmax;
 }
 
+void ClusterSimulation::ensure_fused_graph(bool with_comm) {
+  if (fused_sched_ && fused_with_comm_ == with_comm) return;
+  plan_ranks_ = local_;
+  plan_is_halo_.clear();
+  std::vector<StepScheduler::ClusterPlan> plans;
+  plans.reserve(local_.size());
+  for (const int r : local_) {
+    std::vector<char> is_halo(sims_[r]->grid().block_count(), 0);
+    for (const int b : halo_[r]) is_halo[b] = 1;
+    plan_is_halo_.push_back(std::move(is_halo));
+    StepScheduler::ClusterPlan p;
+    p.topo = &sims_[r]->step_topology();
+    p.halo_blocks = halo_[r];
+    // The sent face slabs are kGhosts cell layers deep, so (bs >= kGhosts,
+    // checked by the fused gate in advance) the packs read exactly the
+    // halo blocks' cells.
+    p.pack_reads = halo_[r];
+    plans.push_back(std::move(p));
+  }
+  if (!fused_sched_) fused_sched_ = std::make_unique<StepScheduler>();
+  fused_sched_->build_cluster_graph(plans, with_comm);
+  fused_with_comm_ = with_comm;
+}
+
+void ClusterSimulation::advance_stage_fused(int stage, double dt, bool fold_sos) {
+  const double a = LsRk3::a[stage];
+  const double b_dt = LsRk3::b[stage] * dt;
+  if (overlap_) {
+    ++epoch_;  // pack/drain tasks run inside the graph under this epoch
+  } else {
+    exchange_halos();  // stall-bench fallback: comm up front, graph comm-free
+  }
+
+  StepScheduler::Hooks hooks;
+  hooks.lab = [this](int, int plan, int block, int tid) {
+    const int r = plan_ranks_[static_cast<std::size_t>(plan)];
+    perf::TraceSpan span(tracer_, perf::TracePhase::kLab, r);
+    sims_[r]->assemble_lab(block, tid);
+  };
+  hooks.rhs = [this, a](int, int plan, int block, int tid) {
+    const int r = plan_ranks_[static_cast<std::size_t>(plan)];
+    // Two same-interval spans: the staged taxonomy (interior vs halo block,
+    // what bench_overlap and the Cluster tracer tests aggregate) plus the
+    // fused-pipeline kRhs phase, whose total is the stage's pure RHS time.
+    const bool halo = plan_is_halo_[static_cast<std::size_t>(plan)][block] != 0;
+    perf::TraceSpan membership(
+        tracer_, halo ? perf::TracePhase::kHalo : perf::TracePhase::kInterior, r);
+    perf::TraceSpan span(tracer_, perf::TracePhase::kRhs, r);
+    sims_[r]->rhs_from_lab(a, block, tid);
+  };
+  hooks.update = [this, b_dt](int, int plan, int block, int) {
+    const int r = plan_ranks_[static_cast<std::size_t>(plan)];
+    perf::TraceSpan span(tracer_, perf::TracePhase::kUpdate, r);
+    sims_[r]->update_one(b_dt, block);
+  };
+  hooks.sos = [this](int plan, int block, double& acc) {
+    sims_[plan_ranks_[static_cast<std::size_t>(plan)]]->accumulate_block_speed(block, acc);
+  };
+  hooks.pack = [this](int plan) {
+    pack_rank_sends(plan_ranks_[static_cast<std::size_t>(plan)]);  // traced kExchange
+  };
+  hooks.drain = [this](int plan) {
+    const int r = plan_ranks_[static_cast<std::size_t>(plan)];
+    perf::TraceSpan span(tracer_, perf::TracePhase::kHalo, r);
+    drain_halos(r);
+  };
+
+  std::vector<double> vmax;
+  std::vector<StepScheduler::PlanTimes> times;
+  Timer region;
+  fused_sched_->run(hooks, omp_get_max_threads(), fold_sos, &vmax, &times);
+  const double wall = region.seconds();
+
+  // Same attribution contract as the staged overlap schedule: the step loop
+  // never blocked on comm (comm_time_ untouched on the overlap path), the
+  // in-region pack/drain thread-seconds go to comm_work_time_, and the
+  // region wall clock is split across the rank profiles in proportion to
+  // their in-region thread-seconds so profile totals keep their meaning.
+  double comm_secs = 0, total = 0;
+  for (const StepScheduler::PlanTimes& t : times) {
+    comm_secs += t.pack + t.drain;
+    total += t.lab + t.rhs + t.up + t.sos + t.pack + t.drain;
+  }
+  comm_work_time_ += comm_secs;
+  for (std::size_t p = 0; p < plan_ranks_.size(); ++p) {
+    const StepScheduler::PlanTimes& t = times[p];
+    StepProfile& prof = sims_[plan_ranks_[p]]->profile();
+    prof.lab += t.lab;
+    if (total > 0) {
+      prof.rhs += wall * (t.lab + t.rhs) / total;
+      prof.up += wall * t.up / total;
+      prof.dt += wall * t.sos / total;
+    }
+  }
+  if (fold_sos)
+    for (std::size_t p = 0; p < plan_ranks_.size(); ++p)
+      sims_[plan_ranks_[p]]->cache_step_vmax(vmax[p]);
+}
+
+void ClusterSimulation::advance_fused(double dt) {
+  const bool guard = front_sim().params().rho_floor > 0 || front_sim().params().p_floor > 0;
+  for (const int r : local_) sims_[r]->ensure_thread_workspaces();
+  ensure_fused_graph(overlap_);
+  for (int s = 0; s < LsRk3::kStages; ++s)
+    advance_stage_fused(s, dt, !guard && s == LsRk3::kStages - 1);
+  if (guard) {
+    for (const int r : local_) {
+      double v = 0;
+      sims_[r]->apply_positivity_guard_folded(&v);
+      sims_[r]->cache_step_vmax(v);
+    }
+  }
+  time_ += dt;
+  ++steps_;
+}
+
 void ClusterSimulation::advance(double dt) {
+  if (front_sim().params().fused_step && bs_ >= kGhosts) {
+    advance_fused(dt);
+    return;
+  }
   for (int s = 0; s < LsRk3::kStages; ++s) {
     if (overlap_) {
       advance_stage_overlapped(LsRk3::a[s]);
@@ -599,6 +721,8 @@ void ClusterSimulation::scatter(const Grid& global) {
       msg_to_box(sims_[r]->grid(), 0, 0, 0, box.nx, box.ny, box.nz, msg);
     }
   }
+  // Scatter replaced the state any folded step vmax was computed from.
+  for (const int r : local_) sims_[r]->invalidate_speed_cache();
 }
 
 std::uint64_t ClusterSimulation::save_checkpoint(const std::string& path) const {
@@ -791,9 +915,11 @@ StepProfile ClusterSimulation::profile() const {
   for (const int r : local_) {
     const StepProfile& p = sims_[r]->profile();
     total.rhs += p.rhs;
+    total.lab += p.lab;
     total.dt += p.dt;
     total.up += p.up;
     total.io += p.io;
+    total.sos_sweeps += p.sos_sweeps;
   }
   total.steps = steps_;
   return total;

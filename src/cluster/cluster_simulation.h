@@ -186,6 +186,15 @@ class ClusterSimulation {
   /// One RK stage of the overlap pipeline: per-rank pack tasks, interior
   /// RHS tasks, and dependency-gated drain + halo RHS tasks, interleaved.
   void advance_stage_overlapped(double a_coeff);
+  /// Fused step (DESIGN.md §14): per stage, one dependency-counted graph of
+  /// lab->RHS and update tasks across all local ranks, with pack/drain
+  /// tasks feeding the same counters when overlap is on. Bitwise-identical
+  /// to the staged schedules; the SOS reduction folds into the final stage
+  /// (or the positivity guard), so the next compute_dt skips its sweep.
+  void advance_fused(double dt);
+  void advance_stage_fused(int stage, double dt, bool fold_sos);
+  /// (Re)builds the cluster stage graph when the overlap mode changed.
+  void ensure_fused_graph(bool with_comm);
   [[nodiscard]] const Simulation& front_sim() const { return *sims_[local_.front()]; }
 
   CartTopology topo_;
@@ -200,6 +209,10 @@ class ClusterSimulation {
   // halo_slabs_[rank][axis*2+side]: 3-layer cell slab outside the rank box.
   std::vector<std::array<std::vector<Cell>, 6>> halo_slabs_;
   perf::Tracer tracer_;
+  std::unique_ptr<StepScheduler> fused_sched_;  ///< cluster stage graph
+  std::vector<int> plan_ranks_;                 ///< scheduler plan -> rank id
+  std::vector<std::vector<char>> plan_is_halo_;  ///< per plan: block -> halo?
+  bool fused_with_comm_ = false;  ///< mode the cached graph was built for
   bool overlap_ = true;
   double time_ = 0;
   double comm_time_ = 0;

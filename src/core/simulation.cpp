@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string_view>
 
@@ -39,14 +40,24 @@ void Simulation::ensure_thread_workspaces() {
 
 double Simulation::compute_dt() {
   Timer timer;
-  const bool simd = params_.impl != kernels::KernelImpl::kScalar;
   double vmax = 0;
+  if (folded_vmax_valid_) {
+    // The fused step already folded this reduction into its final stage (or
+    // the positivity guard); consume the cached maximum instead of sweeping
+    // the grid a seventh time. One-shot: any later mutation of the state
+    // must go through a fresh sweep.
+    vmax = folded_vmax_;
+    folded_vmax_valid_ = false;
+  } else {
+    const bool simd = params_.impl != kernels::KernelImpl::kScalar;
 #pragma omp parallel for schedule(static) reduction(max : vmax)
-  for (int i = 0; i < grid_.block_count(); ++i) {
-    const Block& b = grid_.block(i);
-    const double v = simd ? kernels::block_max_speed_simd(b, params_.width)
-                          : kernels::block_max_speed(b);
-    vmax = std::max(vmax, v);
+    for (int i = 0; i < grid_.block_count(); ++i) {
+      const Block& b = grid_.block(i);
+      const double v = simd ? kernels::block_max_speed_simd(b, params_.width)
+                            : kernels::block_max_speed(b);
+      vmax = std::max(vmax, v);
+    }
+    ++profile_.sos_sweeps;
   }
   profile_.dt += timer.seconds();
   require(vmax > 0, "compute_dt: zero maximum characteristic velocity");
@@ -71,25 +82,45 @@ void Simulation::evaluate_rhs(double a_coeff, const std::vector<int>* block_subs
   profile_.rhs += timer.seconds();
 }
 
-void Simulation::rhs_one_block(double a_coeff, int block_id) {
-  const int tid = omp_get_thread_num();
-  require(tid < static_cast<int>(labs_.size()),
+void Simulation::assemble_lab(int block_id, int tid) {
+  require(tid >= 0 && tid < static_cast<int>(labs_.size()),
           "Simulation: more threads than per-thread labs");
   BlockLab& lab = labs_[tid];
-  kernels::RhsWorkspace& ws = ws_[tid];
   int bx, by, bz;
   grid_.indexer().coords(block_id, bx, by, bz);
   // Bulk assembly: intra-rank ghosts fold through the BCs region-by-region;
   // the cluster layer's override intercepts only out-of-domain coordinates.
-  Timer lab_timer;
   lab.load(grid_, bx, by, bz, params_.bc,
            ghost_override_ ? &ghost_override_ : nullptr);
+#if MPCF_CHECKED
+  // The fused scheduler's counters are seeded from BlockTopology::readset;
+  // cross-validate that the lab's fold tables never referenced a block the
+  // topology missed (a miss would mean an unsynchronized read).
+  if (step_topo_) {
+    thread_local std::vector<int> reads;
+    lab.read_block_set(grid_.indexer(), reads);
+    const auto rs = step_topo_->readset(block_id);
+    MPCF_CHECK(std::includes(rs.begin(), rs.end(), reads.begin(), reads.end()),
+               "Simulation: lab read a block outside its topology readset, block " +
+                   std::to_string(block_id));
+  }
+#endif
+}
+
+void Simulation::rhs_from_lab(double a_coeff, int block_id, int tid) {
+  kernels::rhs_block(labs_[tid], static_cast<Real>(grid_.h()),
+                     static_cast<Real>(a_coeff), grid_.block(block_id), ws_[tid],
+                     params_.impl, params_.weno_order, params_.width);
+}
+
+void Simulation::rhs_one_block(double a_coeff, int block_id) {
+  const int tid = omp_get_thread_num();
+  Timer lab_timer;
+  assemble_lab(block_id, tid);
   const double lab_s = lab_timer.seconds();
 #pragma omp atomic
   profile_.lab += lab_s;
-  kernels::rhs_block(lab, static_cast<Real>(grid_.h()), static_cast<Real>(a_coeff),
-                     grid_.block(block_id), ws, params_.impl, params_.weno_order,
-                     params_.width);
+  rhs_from_lab(a_coeff, block_id, tid);
 }
 
 double Simulation::evaluate_rhs_block(double a_coeff, int block_id) {
@@ -98,20 +129,48 @@ double Simulation::evaluate_rhs_block(double a_coeff, int block_id) {
   return timer.seconds();
 }
 
+void Simulation::update_one(double b_dt, int block_id) {
+  if (params_.impl != kernels::KernelImpl::kScalar)
+    kernels::update_block_simd(grid_.block(block_id), static_cast<Real>(b_dt),
+                               params_.width);
+  else
+    kernels::update_block(grid_.block(block_id), static_cast<Real>(b_dt));
+}
+
 void Simulation::update(double b_dt) {
   Timer timer;
-  const bool simd = params_.impl != kernels::KernelImpl::kScalar;
 #pragma omp parallel for schedule(static)
-  for (int i = 0; i < grid_.block_count(); ++i) {
-    if (simd)
-      kernels::update_block_simd(grid_.block(i), static_cast<Real>(b_dt), params_.width);
-    else
-      kernels::update_block(grid_.block(i), static_cast<Real>(b_dt));
-  }
+  for (int i = 0; i < grid_.block_count(); ++i) update_one(b_dt, i);
   profile_.up += timer.seconds();
 }
 
+void Simulation::accumulate_block_speed(int block_id, double& acc) const {
+  kernels::block_max_speed_accumulate(grid_.block(block_id),
+                                      params_.impl != kernels::KernelImpl::kScalar,
+                                      params_.width, acc);
+}
+
+const BlockTopology& Simulation::step_topology() {
+  if (!step_topo_)
+    step_topo_ = std::make_unique<BlockTopology>(build_block_topology(
+        grid_.indexer(), grid_.block_size(), kGhosts, params_.bc));
+  return *step_topo_;
+}
+
+void Simulation::ensure_step_graph() {
+  if (sched_) return;
+  sched_ = std::make_unique<StepScheduler>();
+  sched_->build_node_graph(step_topology(), LsRk3::kStages);
+}
+
 void Simulation::advance(double dt) {
+  // The cluster layer drives rank sims through its own fused stage graphs;
+  // a ghost override here means this sim is such a rank, so its standalone
+  // advance keeps the staged sweeps (halo coordination lives upstairs).
+  if (params_.fused_step && !ghost_override_ && grid_.block_size() >= kGhosts) {
+    advance_fused(dt);
+    return;
+  }
   for (int s = 0; s < LsRk3::kStages; ++s) {
     evaluate_rhs(LsRk3::a[s]);
 #if MPCF_CHECKED
@@ -127,58 +186,136 @@ void Simulation::advance(double dt) {
   ++profile_.steps;
 }
 
-void Simulation::apply_positivity_guard() {
+void Simulation::advance_fused(double dt) {
+  ensure_thread_workspaces();
+  ensure_step_graph();
+  // With positivity floors active the guard mutates the state compute_dt
+  // would read, so the SOS reduction folds into the guard sweep instead of
+  // the final-stage update tasks.
+  const bool guard = params_.rho_floor > 0 || params_.p_floor > 0;
+
+  StepScheduler::Hooks hooks;
+  hooks.lab = [this](int, int, int block, int tid) { assemble_lab(block, tid); };
+  hooks.rhs = [this](int stage, int, int block, int tid) {
+    rhs_from_lab(LsRk3::a[stage], block, tid);
+#if MPCF_CHECKED
+    verify_block("rhs", stage, block);
+#else
+    (void)stage;
+#endif
+  };
+  hooks.update = [this, dt](int stage, int, int block, int) {
+    update_one(LsRk3::b[stage] * dt, block);
+#if MPCF_CHECKED
+    verify_block("update", stage, block);
+#endif
+  };
+  hooks.sos = [this](int, int block, double& acc) { accumulate_block_speed(block, acc); };
+
+  std::vector<double> vmax;
+  std::vector<StepScheduler::PlanTimes> times;
+  Timer region;
+  sched_->run(hooks, omp_get_max_threads(), !guard, &vmax, &times);
+  const double wall = region.seconds();
+
+  // profile().lab keeps its thread-seconds meaning; the region wall clock is
+  // split across the sweep categories in proportion to their thread-seconds,
+  // so profile().total() still sums to elapsed step time.
+  const StepScheduler::PlanTimes& t = times.front();
+  profile_.lab += t.lab;
+  const double work = t.lab + t.rhs + t.up + t.sos;
+  if (work > 0) {
+    profile_.rhs += wall * (t.lab + t.rhs) / work;
+    profile_.up += wall * t.up / work;
+    profile_.dt += wall * t.sos / work;
+  }
+
+  if (guard) {
+    double gv = 0;
+    apply_positivity_guard_folded(&gv);
+    cache_step_vmax(gv);
+  } else {
+    cache_step_vmax(vmax.front());
+  }
+  time_ += dt;
+  ++profile_.steps;
+}
+
+long Simulation::clamp_block(Block& b) const {
   const Real rfloor = static_cast<Real>(params_.rho_floor);
   const Real pfloor = static_cast<Real>(params_.p_floor);
   long clamped = 0;
-#pragma omp parallel for schedule(static) reduction(+ : clamped)
-  for (int i = 0; i < grid_.block_count(); ++i) {
-    Block& b = grid_.block(i);
-    Cell* cells = b.data();
-    const std::size_t n = b.cells();
-    for (std::size_t k = 0; k < n; ++k) {
-      Cell& c = cells[k];
-      bool touched = false;
-      // Non-finite momenta poison the kinetic energy below; zero them.
-      if (!std::isfinite(c.ru) || !std::isfinite(c.rv) || !std::isfinite(c.rw)) {
-        c.ru = c.rv = c.rw = 0;
-        touched = true;
-      }
-      if (!(c.rho > rfloor)) {
-        c.rho = rfloor;
-        touched = true;
-      }
-      if (!(c.G > 0)) {
-        c.G = static_cast<Real>(materials::kVapor.Gamma());
-        touched = true;
-      }
-      if (!(c.P >= 0)) {
-        c.P = 0;
-        touched = true;
-      }
-      const Real ke = 0.5f * (c.ru * c.ru + c.rv * c.rv + c.rw * c.rw) / c.rho;
-      const Real p = (c.E - ke - c.P) / c.G;
-      if (!(p > pfloor)) {  // catches NaN E as well
-        c.E = c.G * pfloor + c.P + ke;
-        touched = true;
-      }
-      if (touched) ++clamped;
+  Cell* cells = b.data();
+  const std::size_t n = b.cells();
+  for (std::size_t k = 0; k < n; ++k) {
+    Cell& c = cells[k];
+    bool touched = false;
+    // Non-finite momenta poison the kinetic energy below; zero them.
+    if (!std::isfinite(c.ru) || !std::isfinite(c.rv) || !std::isfinite(c.rw)) {
+      c.ru = c.rv = c.rw = 0;
+      touched = true;
     }
+    if (!(c.rho > rfloor)) {
+      c.rho = rfloor;
+      touched = true;
+    }
+    if (!(c.G > 0)) {
+      c.G = static_cast<Real>(materials::kVapor.Gamma());
+      touched = true;
+    }
+    if (!(c.P >= 0)) {
+      c.P = 0;
+      touched = true;
+    }
+    const Real ke = 0.5f * (c.ru * c.ru + c.rv * c.rv + c.rw * c.rw) / c.rho;
+    const Real p = (c.E - ke - c.P) / c.G;
+    if (!(p > pfloor)) {  // catches NaN E as well
+      c.E = c.G * pfloor + c.P + ke;
+      touched = true;
+    }
+    if (touched) ++clamped;
+  }
+  return clamped;
+}
+
+void Simulation::apply_positivity_guard() {
+  long clamped = 0;
+#pragma omp parallel for schedule(static) reduction(+ : clamped)
+  for (int i = 0; i < grid_.block_count(); ++i) clamped += clamp_block(grid_.block(i));
+  params_.clamped_cells += clamped;
+  // The clamp may have changed the state a folded vmax was computed from.
+  invalidate_speed_cache();
+}
+
+void Simulation::apply_positivity_guard_folded(double* vmax) {
+  const bool simd = params_.impl != kernels::KernelImpl::kScalar;
+  long clamped = 0;
+  double v = 0;
+  // Per block: clamp first, then fold its max speed — the folded maximum is
+  // exactly what a post-guard compute_dt sweep would reduce.
+#pragma omp parallel for schedule(static) reduction(+ : clamped) reduction(max : v)
+  for (int i = 0; i < grid_.block_count(); ++i) {
+    clamped += clamp_block(grid_.block(i));
+    kernels::block_max_speed_accumulate(grid_.block(i), simd, params_.width, v);
   }
   params_.clamped_cells += clamped;
+  *vmax = v;
 }
 
 #if MPCF_CHECKED
 void Simulation::verify_state(const char* phase, int stage) const {
+  for (int b = 0; b < grid_.block_count(); ++b) verify_block(phase, stage, b);
+}
+
+void Simulation::verify_block(const char* phase, int stage, int b) const {
   const bool after_rhs = std::string_view(phase) == "rhs";
   const int bs = grid_.block_size();
-  for (int b = 0; b < grid_.block_count(); ++b) {
-    const Block& blk = grid_.block(b);
-    // After RHS the invariant lives in the RK accumulator (finite fluxes);
-    // after UPDATE it lives in the conserved state (finite + positive rho).
-    const Cell* cells = after_rhs ? blk.tmp_data() : blk.data();
-    const std::size_t n = blk.cells();
-    for (std::size_t k = 0; k < n; ++k) {
+  const Block& blk = grid_.block(b);
+  // After RHS the invariant lives in the RK accumulator (finite fluxes);
+  // after UPDATE it lives in the conserved state (finite + positive rho).
+  const Cell* cells = after_rhs ? blk.tmp_data() : blk.data();
+  const std::size_t n = blk.cells();
+  for (std::size_t k = 0; k < n; ++k) {
       const Cell& c = cells[k];
       int bad_q = -1;
       for (int q = 0; q < kNumQuantities; ++q) {
@@ -221,7 +358,6 @@ void Simulation::verify_state(const char* phase, int stage) const {
                       "," + std::to_string(iz) + "), quantity " +
                       std::to_string(bad_q) + " = " +
                       std::to_string(c.q(bad_q)) + ", repro " + repro);
-    }
   }
 }
 #endif  // MPCF_CHECKED

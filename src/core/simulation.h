@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "core/diagnostics.h"
 #include "core/profile.h"
+#include "core/step_scheduler.h"
 #include "grid/boundary.h"
 #include "grid/grid.h"
 #include "grid/lab.h"
@@ -45,6 +47,12 @@ class Simulation {
     double p_floor = 1.0;
     /// Cells clamped so far (written by advance; diagnostic only).
     long clamped_cells = 0;
+    /// Fused per-block step pipeline (DESIGN.md §14): dependency-scheduled
+    /// lab->RHS->update tasks with the SOS reduction folded into the final
+    /// stage (or the positivity guard), bitwise-identical to the staged
+    /// sweeps. Off = the barrier-separated staged schedule (kept as the
+    /// conformance oracle).
+    bool fused_step = true;
   };
 
   Simulation(int bx, int by, int bz, int bs, Params params);
@@ -56,10 +64,12 @@ class Simulation {
   [[nodiscard]] double time() const noexcept { return time_; }
   [[nodiscard]] long step_count() const noexcept { return profile_.steps; }
 
-  /// Restores the simulation clock (used by checkpoint restart).
+  /// Restores the simulation clock (used by checkpoint restart). Also drops
+  /// any folded step vmax: restart state invalidates it.
   void restore_clock(double time, long steps) noexcept {
     time_ = time;
     profile_.steps = steps;
+    invalidate_speed_cache();
   }
 
   /// DT kernel: global reduction of the maximum characteristic velocity.
@@ -101,6 +111,49 @@ class Simulation {
   void update(double b_dt);
   void apply_positivity_guard();
 
+  // --- Fused-step building blocks (StepScheduler hooks; also driven by the
+  // --- cluster layer's fused stage graphs). Same caller contract as
+  // --- evaluate_rhs_block: at most omp_get_max_threads() distinct threads,
+  // --- ensure_thread_workspaces() from serial context first.
+
+  /// Assembles the ghost lab of `block_id` into thread `tid`'s lab buffer.
+  void assemble_lab(int block_id, int tid);
+  /// Evaluates the RHS of `block_id` from the lab thread `tid` just
+  /// assembled (accumulator tmp <- a*tmp + RHS).
+  void rhs_from_lab(double a_coeff, int block_id, int tid);
+  /// RK update of one block: data += b_dt * tmp.
+  void update_one(double b_dt, int block_id);
+  /// Folds `block_id`'s max characteristic speed into `acc` with the same
+  /// per-block kernel compute_dt's sweep uses (max is order-independent, so
+  /// folded accumulation is bitwise-equal to the staged reduction).
+  void accumulate_block_speed(int block_id, double& acc) const;
+  /// Positivity guard fused with the SOS reduction: clamps every cell like
+  /// apply_positivity_guard, folding each block's post-clamp max speed into
+  /// `*vmax` in the same sweep (the folded fold point when floors are
+  /// active, since the guard mutates the state compute_dt would read).
+  void apply_positivity_guard_folded(double* vmax);
+  /// Publishes a folded step vmax for the next compute_dt (one-shot cache;
+  /// set by the fused step, consumed and cleared by compute_dt). Exposed for
+  /// the cluster layer's fused driver.
+  void cache_step_vmax(double vmax) noexcept {
+    folded_vmax_ = vmax;
+    folded_vmax_valid_ = true;
+  }
+  /// Drops the folded vmax; callers that mutate grid cells between an
+  /// advance and the next compute_dt must call this (scatter, restarts and
+  /// the plain guard do it automatically).
+  void invalidate_speed_cache() noexcept { folded_vmax_valid_ = false; }
+
+  /// Block readset/consumer tables of this grid under its BCs, built lazily
+  /// (shared by the node fused graph and the cluster layer's stage graphs).
+  [[nodiscard]] const BlockTopology& step_topology();
+
+#if MPCF_CHECKED
+  /// Per-block slice of verify_state with identical provenance messages
+  /// (the fused path verifies each block as its sweep-equivalent completes).
+  void verify_block(const char* phase, int stage, int block_id) const;
+#endif
+
   /// Compressed data dump of pressure and Gamma (the paper's production
   /// dump set) to `<prefix>_p.cq` / `<prefix>_G.cq`; time is accounted to
   /// profile().io. Thresholds are absolute (pressure spans ~1e7 Pa, Gamma
@@ -121,6 +174,13 @@ class Simulation {
   /// Loads + evaluates one block on the calling thread's lab/workspace.
   void rhs_one_block(double a_coeff, int block_id);
 
+  /// One dependency-scheduled fused step (all RK stages, no grid barrier).
+  void advance_fused(double dt);
+  /// Lazily builds the node-layer fused step graph.
+  void ensure_step_graph();
+  /// Clamps one block's cells to the positivity floors; returns the count.
+  long clamp_block(Block& block) const;
+
   /// MPCF_CHECKED builds only (call sites are fenced): scans the post-sweep
   /// state — the RK accumulator after an RHS sweep ("rhs"), the conserved
   /// state after an UPDATE sweep ("update") — for non-finite values and
@@ -137,6 +197,10 @@ class Simulation {
   std::vector<kernels::RhsWorkspace> ws_;   // one per thread
   GhostOverride ghost_override_;
   StepProfile profile_;
+  std::unique_ptr<BlockTopology> step_topo_;  // lazily built
+  std::unique_ptr<StepScheduler> sched_;      // node-layer fused graph
+  double folded_vmax_ = 0;          ///< one-shot folded SOS result
+  bool folded_vmax_valid_ = false;  ///< consumed by the next compute_dt
 };
 
 }  // namespace mpcf

@@ -15,6 +15,7 @@
 //    callback (the cluster layer's out-of-rank intercept).
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstddef>
 #include <vector>
@@ -152,6 +153,36 @@ class BlockLab {
   /// same grid, folded through the domain boundary conditions.
   void load(const Grid& grid, int bx, int by, int bz, const BoundaryConditions& bc) {
     load(grid, bx, by, bz, bc, static_cast<const NoOverride*>(nullptr));
+  }
+
+  /// Consumption hook for the fused step scheduler: the set of source blocks
+  /// the last bulk load() may have read, linearized through `idx` and
+  /// appended to `out` sorted ascending (out is cleared first). Computed as
+  /// the product of the per-axis fold tables, so it is a conservative
+  /// superset of the actual reads (an override interception still counts its
+  /// locally folded block). Valid only after a bulk load; the per-cell
+  /// oracle path does not build fold tables. The scheduler cross-validates
+  /// this against BlockTopology::readset under MPCF_CHECKED.
+  void read_block_set(const BlockIndexer& idx, std::vector<int>& out) const {
+    out.clear();
+    // Distinct per-axis source blocks, in fold-table order.
+    // mpcf-lint: allow(kernel-alloc): MPCF_CHECKED-only validation path, not a kernel loop
+    std::vector<int> ax[3];
+    for (int a = 0; a < 3; ++a) {
+      for (int i = 0; i < n_; ++i) {
+        const int b = fold_[a][i].block;
+        bool seen = false;
+        for (const int e : ax[a]) seen = seen || e == b;
+        // mpcf-lint: allow(kernel-alloc): MPCF_CHECKED-only validation path, not a kernel loop
+        if (!seen) ax[a].push_back(b);
+      }
+    }
+    for (const int bz : ax[2])
+      for (const int by : ax[1])
+        // mpcf-lint: allow(kernel-alloc): MPCF_CHECKED-only validation path, not a kernel loop
+        for (const int bx : ax[0]) out.push_back(idx.linear(bx, by, bz));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
   }
 
  private:

@@ -1,5 +1,8 @@
 #include "grid/sfc.h"
 
+#include <algorithm>
+#include <array>
+
 namespace mpcf {
 
 namespace {
@@ -162,6 +165,65 @@ void BlockIndexer::coords(int linear_index, int& ix, int& iy, int& iz) const {
   ix = linear_index % bx_;
   iy = (linear_index / bx_) % by_;
   iz = linear_index / (bx_ * by_);
+}
+
+BlockTopology build_block_topology(const BlockIndexer& idx, int block_size, int ghosts,
+                                   const BoundaryConditions& bc) {
+  require(block_size > 0 && ghosts >= 0 && ghosts <= block_size,
+          "build_block_topology: ghost depth must not exceed the block size");
+  const int ext[3] = {idx.nx(), idx.ny(), idx.nz()};
+
+  // Per-axis folded source-block sets: for a block at axis coordinate c, the
+  // distinct blocks its lab coordinates [-g, bs+g) fold into along that axis.
+  // Matches BlockLab::build_fold_tables entry-for-entry (source block index
+  // = folded cell index / bs).
+  std::array<std::vector<std::vector<int>>, 3> axis_src;
+  for (int a = 0; a < 3; ++a) {
+    axis_src[a].resize(ext[a]);
+    const int ncells = ext[a] * block_size;
+    for (int c = 0; c < ext[a]; ++c) {
+      std::vector<int>& src = axis_src[a][c];
+      const int origin = c * block_size;
+      for (int i = -ghosts; i < block_size + ghosts; ++i) {
+        const int sb = fold_index(origin + i, ncells, bc, a).i / block_size;
+        if (std::find(src.begin(), src.end(), sb) == src.end()) src.push_back(sb);
+      }
+    }
+  }
+
+  BlockTopology topo;
+  topo.count = idx.count();
+  std::vector<std::vector<int>> reads(topo.count), cons(topo.count);
+  for (int b = 0; b < topo.count; ++b) {
+    int cx, cy, cz;
+    idx.coords(b, cx, cy, cz);
+    std::vector<int>& r = reads[b];
+    for (const int sz : axis_src[2][cz])
+      for (const int sy : axis_src[1][cy])
+        for (const int sx : axis_src[0][cx]) r.push_back(idx.linear(sx, sy, sz));
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+  }
+  for (int b = 0; b < topo.count; ++b)
+    for (const int s : reads[b]) cons[s].push_back(b);
+
+  const auto flatten = [](const std::vector<std::vector<int>>& per_block,
+                          std::vector<int>& offsets, std::vector<int>& ids) {
+    offsets.resize(per_block.size() + 1);
+    offsets[0] = 0;
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < per_block.size(); ++b) {
+      total += per_block[b].size();
+      offsets[b + 1] = static_cast<int>(total);
+    }
+    ids.reserve(total);
+    for (const auto& v : per_block) {
+      for (const int s : v) ids.push_back(s);
+    }
+  };
+  flatten(reads, topo.read_offsets, topo.read_ids);
+  flatten(cons, topo.cons_offsets, topo.cons_ids);
+  return topo;
 }
 
 }  // namespace mpcf

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/error.h"
+#include "grid/boundary.h"
 
 namespace mpcf {
 
@@ -52,5 +55,40 @@ class BlockIndexer {
   int bx_ = 0, by_ = 0, bz_ = 0;
   Curve curve_ = Curve::kRowMajor;
 };
+
+/// Block-dependency topology of a grid under its boundary conditions: for
+/// every block b, `readset(b)` is the set of source blocks b's ghost-lab
+/// assembly may read, and `consumers(b)` is the transpose — the blocks whose
+/// labs read b's data. The fused step scheduler seeds its per-stage
+/// dependency counters from these sets (DESIGN.md §14).
+///
+/// The readset is derived from the same per-axis index folding BlockLab's
+/// bulk assembly uses (fold_index over the ghost-extended coordinate range),
+/// as the product of the three per-axis folded source-block sets — an exact
+/// superset of every grid read the assembly performs, including the cluster
+/// override's clamp path (clamping equals the absorbing fold). Both
+/// relations always contain b itself; neither is assumed symmetric (BC
+/// folding breaks symmetry at domain faces), so the transpose is explicit.
+struct BlockTopology {
+  int count = 0;
+  std::vector<int> read_offsets;  ///< CSR offsets into read_ids, size count+1
+  std::vector<int> read_ids;      ///< ascending within each block's span
+  std::vector<int> cons_offsets;  ///< CSR offsets into cons_ids, size count+1
+  std::vector<int> cons_ids;      ///< ascending within each block's span
+
+  [[nodiscard]] std::span<const int> readset(int b) const {
+    return {read_ids.data() + read_offsets[b],
+            static_cast<std::size_t>(read_offsets[b + 1] - read_offsets[b])};
+  }
+  [[nodiscard]] std::span<const int> consumers(int b) const {
+    return {cons_ids.data() + cons_offsets[b],
+            static_cast<std::size_t>(cons_offsets[b + 1] - cons_offsets[b])};
+  }
+};
+
+/// Builds the readset/consumer tables for blocks of edge `block_size` with
+/// `ghosts` ghost layers, indexed by `idx`, under boundary conditions `bc`.
+[[nodiscard]] BlockTopology build_block_topology(const BlockIndexer& idx, int block_size,
+                                                 int ghosts, const BoundaryConditions& bc);
 
 }  // namespace mpcf

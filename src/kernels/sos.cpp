@@ -1,5 +1,6 @@
 #include "kernels/sos.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "simd/memory_ops.h"
@@ -75,6 +76,12 @@ double block_max_speed_simd(const Block& block, simd::Width width) {
     default:
       return max_speed_impl<simd::vec4>(block);
   }
+}
+
+void block_max_speed_accumulate(const Block& block, bool simd, simd::Width width,
+                                double& acc) {
+  const double v = simd ? block_max_speed_simd(block, width) : block_max_speed(block);
+  acc = std::max(acc, v);
 }
 
 double sos_flops(int bs) {

@@ -29,6 +29,8 @@ const char* trace_phase_name(TracePhase p) {
     case TracePhase::kDump: return "dump";
     case TracePhase::kCheckpoint: return "checkpoint";
     case TracePhase::kWait: return "wait";
+    case TracePhase::kLab: return "lab";
+    case TracePhase::kRhs: return "rhs";
   }
   return "?";
 }

@@ -297,9 +297,16 @@ TEST(Cluster, TracerCapturesPhasesAndExportsChromeJson) {
   EXPECT_GT(cs.tracer().total_seconds(TracePhase::kHalo), 0.0);
   EXPECT_GT(cs.tracer().total_seconds(TracePhase::kUpdate), 0.0);
   EXPECT_GT(cs.tracer().total_seconds(TracePhase::kReduce), 0.0);
-  // Per-rank filtering: both ranks contributed interior spans.
+  // The fused schedule (the default) must not hide RHS time: its block
+  // tasks emit lab-assembly and pure-RHS spans on top of the membership
+  // (interior/halo) spans the staged schedule also records.
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kLab), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kRhs), 0.0);
+  // Per-rank filtering: both ranks contributed interior and RHS spans.
   EXPECT_GT(cs.tracer().total_seconds(TracePhase::kInterior, 0), 0.0);
   EXPECT_GT(cs.tracer().total_seconds(TracePhase::kInterior, 1), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kRhs, 0), 0.0);
+  EXPECT_GT(cs.tracer().total_seconds(TracePhase::kRhs, 1), 0.0);
 
   const auto events = cs.tracer().events();
   ASSERT_FALSE(events.empty());
@@ -314,6 +321,8 @@ TEST(Cluster, TracerCapturesPhasesAndExportsChromeJson) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"interior\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"halo\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lab\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rhs\""), std::string::npos);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '\n');
 

@@ -1,0 +1,345 @@
+// Tests of the fused per-block step pipeline (DESIGN.md §14): the block
+// dependency topology the scheduler seeds its counters from, bitwise
+// identity of the fused schedule against the staged sweeps across SIMD
+// widths / thread counts / cluster schedules, the folded SOS reduction
+// (steady state runs no standalone sweep; the folded dt is bit-equal to the
+// staged sweep's), and the streaming UPDATE store variant. Built under
+// MPCF_CHECKED these runs additionally exercise the scheduler's counter
+// invariants and the lab readset cross-validation.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/cluster_simulation.h"
+#include "core/simulation.h"
+#include "grid/lab.h"
+#include "grid/sfc.h"
+#include "kernels/update.h"
+#include "simd/dispatch.h"
+#include "workload/cloud.h"
+
+namespace mpcf {
+namespace {
+
+using cluster::CartTopology;
+using cluster::ClusterSimulation;
+
+// --- helpers --------------------------------------------------------------
+
+Simulation::Params cloud_params(BCType bctype, bool fused,
+                                simd::Width w = simd::Width::kAuto) {
+  Simulation::Params p;
+  p.extent = 1e-3;
+  p.bc = BoundaryConditions::all(bctype);
+  p.fused_step = fused;
+  p.width = w;
+  return p;
+}
+
+void init_cloud(Grid& g) {
+  std::vector<Bubble> bubbles{{0.35e-3, 0.4e-3, 0.5e-3, 0.1e-3},
+                              {0.65e-3, 0.6e-3, 0.45e-3, 0.12e-3}};
+  TwoPhaseIC ic;
+  set_cloud_ic(g, bubbles, ic);
+}
+
+// Smooth single-phase acoustic pulse: stays clamp-free, so it can run with
+// the positivity guard disabled (exercising the fold-into-final-stage path).
+void init_pulse(Grid& g) {
+  const double G = materials::kLiquid.Gamma(), Pi = materials::kLiquid.Pi();
+  for (int iz = 0; iz < g.cells_z(); ++iz)
+    for (int iy = 0; iy < g.cells_y(); ++iy)
+      for (int ix = 0; ix < g.cells_x(); ++ix) {
+        const double x = (ix + 0.5) / g.cells_x();
+        const double p =
+            materials::kLiquidPressure * (1.0 + 0.01 * std::sin(6.283185307179586 * x));
+        Cell& c = g.cell(ix, iy, iz);
+        c.rho = static_cast<Real>(materials::kLiquidDensity);
+        c.G = static_cast<Real>(G);
+        c.P = static_cast<Real>(Pi);
+        c.E = static_cast<Real>(G * p + Pi);
+      }
+}
+
+void expect_grids_bitwise_equal(const Grid& a, const Grid& b, const char* what) {
+  ASSERT_EQ(a.cells_x(), b.cells_x());
+  ASSERT_EQ(a.cells_y(), b.cells_y());
+  ASSERT_EQ(a.cells_z(), b.cells_z());
+  for (int iz = 0; iz < a.cells_z(); ++iz)
+    for (int iy = 0; iy < a.cells_y(); ++iy)
+      for (int ix = 0; ix < a.cells_x(); ++ix)
+        for (int q = 0; q < kNumQuantities; ++q)
+          ASSERT_EQ(a.cell(ix, iy, iz).q(q), b.cell(ix, iy, iz).q(q))
+              << what << ": mismatch at " << ix << "," << iy << "," << iz << " q=" << q;
+}
+
+std::vector<simd::Width> executable_widths() {
+  std::vector<simd::Width> ws{simd::Width::kScalar};
+  for (simd::Width w : {simd::Width::kW4, simd::Width::kW8})
+    if (simd::width_compiled(w) && simd::host_executes(w)) ws.push_back(w);
+  return ws;
+}
+
+struct ThreadCountGuard {
+  int saved = omp_get_max_threads();
+  ~ThreadCountGuard() { omp_set_num_threads(saved); }
+};
+
+// --- BlockTopology --------------------------------------------------------
+
+TEST(BlockTopology, SelfMembershipSortedAndTransposeConsistent) {
+  struct Shape {
+    int bx, by, bz;
+    BCType bc;
+  };
+  for (const Shape& s : {Shape{2, 2, 2, BCType::kAbsorbing}, Shape{2, 2, 2, BCType::kPeriodic},
+                         Shape{3, 2, 1, BCType::kPeriodic}, Shape{4, 2, 2, BCType::kAbsorbing}}) {
+    const BlockIndexer idx(s.bx, s.by, s.bz);
+    const BlockTopology topo =
+        build_block_topology(idx, 8, kGhosts, BoundaryConditions::all(s.bc));
+    ASSERT_EQ(topo.count, idx.count());
+    for (int b = 0; b < topo.count; ++b) {
+      const auto rs = topo.readset(b);
+      const auto cs = topo.consumers(b);
+      EXPECT_TRUE(std::is_sorted(rs.begin(), rs.end()));
+      EXPECT_TRUE(std::is_sorted(cs.begin(), cs.end()));
+      EXPECT_TRUE(std::binary_search(rs.begin(), rs.end(), b)) << "readset self b=" << b;
+      EXPECT_TRUE(std::binary_search(cs.begin(), cs.end(), b)) << "consumers self b=" << b;
+      // Transpose consistency: r in readset(b) <=> b in consumers(r).
+      for (const int r : rs) {
+        const auto rc = topo.consumers(r);
+        EXPECT_TRUE(std::binary_search(rc.begin(), rc.end(), b))
+            << "b=" << b << " reads r=" << r << " but is not r's consumer";
+      }
+      for (const int c : cs) {
+        const auto cr = topo.readset(c);
+        EXPECT_TRUE(std::binary_search(cr.begin(), cr.end(), b))
+            << "c=" << c << " consumes b=" << b << " but b not in c's readset";
+      }
+    }
+  }
+}
+
+TEST(BlockTopology, SingleBlockReadsOnlyItself) {
+  for (BCType bc : {BCType::kAbsorbing, BCType::kPeriodic}) {
+    const BlockIndexer idx(1, 1, 1);
+    const BlockTopology topo = build_block_topology(idx, 8, kGhosts, BoundaryConditions::all(bc));
+    ASSERT_EQ(topo.readset(0).size(), 1u);
+    EXPECT_EQ(topo.readset(0)[0], 0);
+    ASSERT_EQ(topo.consumers(0).size(), 1u);
+  }
+}
+
+TEST(BlockTopology, PeriodicTwoBlocksPerAxisReadsEveryBlock) {
+  // Two blocks per axis under periodic folding: every axis folds to both
+  // blocks, so each readset is the full 8-block product.
+  const BlockIndexer idx(2, 2, 2);
+  const BlockTopology topo =
+      build_block_topology(idx, 8, kGhosts, BoundaryConditions::all(BCType::kPeriodic));
+  for (int b = 0; b < topo.count; ++b) {
+    EXPECT_EQ(topo.readset(b).size(), 8u) << "b=" << b;
+    EXPECT_EQ(topo.consumers(b).size(), 8u) << "b=" << b;
+  }
+}
+
+TEST(BlockTopology, ReadsetCoversActualLabLoads) {
+  // Brute force: for every block, a real bulk lab assembly's recorded source
+  // set must be contained in the topology's readset.
+  for (BCType bc : {BCType::kAbsorbing, BCType::kPeriodic}) {
+    Grid g(3, 2, 2, 8, 1.0);
+    const BoundaryConditions bcs = BoundaryConditions::all(bc);
+    const BlockTopology topo = build_block_topology(g.indexer(), 8, kGhosts, bcs);
+    BlockLab lab;
+    std::vector<int> reads;
+    for (int b = 0; b < g.block_count(); ++b) {
+      int bx, by, bz;
+      g.indexer().coords(b, bx, by, bz);
+      lab.load(g, bx, by, bz, bcs);
+      lab.read_block_set(g.indexer(), reads);
+      const auto rs = topo.readset(b);
+      EXPECT_TRUE(std::includes(rs.begin(), rs.end(), reads.begin(), reads.end()))
+          << "lab of block " << b << " read outside its readset (bc="
+          << static_cast<int>(bc) << ")";
+    }
+  }
+}
+
+// --- Fused vs staged: node layer ------------------------------------------
+
+TEST(FusedStep, BitwiseMatchesStagedAcrossWidthsAndThreads) {
+  ThreadCountGuard tg;
+  for (const simd::Width w : executable_widths()) {
+    for (const int nt : {1, 2, 8}) {
+      omp_set_num_threads(nt);
+      Simulation staged(2, 2, 2, 8, cloud_params(BCType::kAbsorbing, false, w));
+      Simulation fused(2, 2, 2, 8, cloud_params(BCType::kAbsorbing, true, w));
+      init_cloud(staged.grid());
+      init_cloud(fused.grid());
+      for (int s = 0; s < 3; ++s) {
+        const double dt_staged = staged.step();
+        const double dt_fused = fused.step();
+        // Folded dt must match the staged sweep bit-for-bit, every step.
+        ASSERT_EQ(dt_staged, dt_fused)
+            << "dt diverged at step " << s << " width=" << static_cast<int>(w)
+            << " threads=" << nt;
+      }
+      expect_grids_bitwise_equal(staged.grid(), fused.grid(), "fused-vs-staged");
+    }
+  }
+}
+
+TEST(FusedStep, BitwiseMatchesStagedWithoutPositivityGuard) {
+  // Floors off => the SOS reduction folds into the final-stage update tasks
+  // instead of the guard sweep; the pulse IC never needs clamping.
+  ThreadCountGuard tg;
+  omp_set_num_threads(4);
+  Simulation::Params ps = cloud_params(BCType::kPeriodic, false);
+  Simulation::Params pf = cloud_params(BCType::kPeriodic, true);
+  ps.rho_floor = ps.p_floor = -1.0;
+  pf.rho_floor = pf.p_floor = -1.0;
+  Simulation staged(2, 2, 2, 8, ps), fused(2, 2, 2, 8, pf);
+  init_pulse(staged.grid());
+  init_pulse(fused.grid());
+  for (int s = 0; s < 3; ++s) ASSERT_EQ(staged.step(), fused.step()) << "step " << s;
+  expect_grids_bitwise_equal(staged.grid(), fused.grid(), "guard-off");
+}
+
+TEST(FusedStep, SteadyStateRunsNoStandaloneSosSweep) {
+  Simulation staged(2, 2, 2, 8, cloud_params(BCType::kAbsorbing, false));
+  Simulation fused(2, 2, 2, 8, cloud_params(BCType::kAbsorbing, true));
+  init_cloud(staged.grid());
+  init_cloud(fused.grid());
+  for (int s = 0; s < 4; ++s) {
+    staged.step();
+    fused.step();
+  }
+  // Fused: only step 0's compute_dt sweeps; every later dt comes from the
+  // reduction folded into the step. Staged: one sweep per step.
+  EXPECT_EQ(fused.profile().sos_sweeps, 1);
+  EXPECT_EQ(staged.profile().sos_sweeps, 4);
+}
+
+TEST(FusedStep, FoldedVmaxCacheIsOneShotAndInvalidated) {
+  Simulation sim(2, 2, 2, 8, cloud_params(BCType::kAbsorbing, true));
+  init_cloud(sim.grid());
+  sim.step();  // step 0: sweep for dt, advance folds the next vmax
+  ASSERT_EQ(sim.profile().sos_sweeps, 1);
+
+  const double dt_folded = sim.compute_dt();  // consumes the cache
+  EXPECT_EQ(sim.profile().sos_sweeps, 1);
+  // Cache is one-shot: the second call re-sweeps — and, with the state
+  // untouched in between, must reproduce the folded value bit-for-bit.
+  const double dt_swept = sim.compute_dt();
+  EXPECT_EQ(sim.profile().sos_sweeps, 2);
+  EXPECT_EQ(dt_folded, dt_swept);
+
+  // restore_clock (checkpoint restart) drops a pending folded vmax.
+  sim.advance(dt_swept);
+  sim.restore_clock(sim.time(), sim.step_count());
+  (void)sim.compute_dt();
+  EXPECT_EQ(sim.profile().sos_sweeps, 3);
+}
+
+// --- Fused vs staged: cluster layer ---------------------------------------
+
+TEST(ClusterFused, BitwiseAcrossOverlapAndFusedModes) {
+  // All four schedules — {overlap on/off} x {fused on/off} — must produce
+  // bit-identical states and dt sequences.
+  struct Mode {
+    bool overlap, fused;
+  };
+  const Mode modes[] = {{false, false}, {true, false}, {false, true}, {true, true}};
+  std::vector<Grid> results;
+  std::vector<std::vector<double>> dts;
+  for (const Mode& m : modes) {
+    Simulation::Params params = cloud_params(BCType::kPeriodic, m.fused);
+    ClusterSimulation cs(4, 4, 4, 8, CartTopology(2, 1, 1), params);
+    cs.set_overlap(m.overlap);
+    for (int r = 0; r < cs.rank_count(); ++r) init_cloud(cs.rank_sim(r).grid());
+    std::vector<double> seq;
+    for (int s = 0; s < 2; ++s) seq.push_back(cs.step());
+    Grid g(4, 4, 4, 8, params.extent);
+    cs.gather(g);
+    results.push_back(std::move(g));
+    dts.push_back(std::move(seq));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(dts[i], dts[0]) << "dt sequence of mode " << i;
+    expect_grids_bitwise_equal(results[i], results[0], "cluster mode");
+  }
+}
+
+TEST(ClusterFused, SteadyStateRunsNoStandaloneSosSweep) {
+  ClusterSimulation cs(4, 4, 4, 8, CartTopology(2, 1, 1),
+                       cloud_params(BCType::kAbsorbing, true));
+  for (int r = 0; r < cs.rank_count(); ++r) init_cloud(cs.rank_sim(r).grid());
+  for (int s = 0; s < 3; ++s) cs.step();
+  // One sweep per rank at step 0, then every dt comes from the folded
+  // reduction (profile() sums the local ranks).
+  EXPECT_EQ(cs.profile().sos_sweeps, cs.rank_count());
+}
+
+TEST(ClusterFused, ScatterInvalidatesFoldedVmax) {
+  Simulation::Params params = cloud_params(BCType::kAbsorbing, true);
+  ClusterSimulation cs(2, 2, 2, 8, CartTopology(2, 1, 1), params);
+  for (int r = 0; r < cs.rank_count(); ++r) init_cloud(cs.rank_sim(r).grid());
+  cs.step();
+  const long sweeps_after_step = cs.profile().sos_sweeps;
+  Grid g(2, 2, 2, 8, params.extent);
+  cs.gather(g);
+  cs.scatter(g);  // external state injection: folded vmax must be dropped
+  (void)cs.compute_dt();
+  EXPECT_EQ(cs.profile().sos_sweeps, sweeps_after_step + cs.rank_count());
+}
+
+// --- UPDATE store variants ------------------------------------------------
+
+void fill_update_fixture(Block& b) {
+  for (int iz = 0; iz < b.size(); ++iz)
+    for (int iy = 0; iy < b.size(); ++iy)
+      for (int ix = 0; ix < b.size(); ++ix) {
+        Cell& c = b(ix, iy, iz);
+        Cell& t = b.tmp(ix, iy, iz);
+        for (int q = 0; q < kNumQuantities; ++q) {
+          c.q(q) = static_cast<Real>(1.0 + 0.01 * ix + 0.02 * iy + 0.03 * iz + q);
+          t.q(q) = static_cast<Real>(std::sin(ix + 2 * iy + 3 * iz + q));
+        }
+      }
+}
+
+TEST(UpdateVariants, StreamAndRegularMatchScalarBitwise) {
+  const Real bdt = static_cast<Real>(1.7e-9);
+  Block scalar(16);
+  fill_update_fixture(scalar);
+  kernels::update_block(scalar, bdt);
+  for (const simd::Width w : executable_widths()) {
+    if (w == simd::Width::kScalar) continue;
+    for (const kernels::UpdateVariant v :
+         {kernels::UpdateVariant::kRegular, kernels::UpdateVariant::kStream}) {
+      Block b(16);
+      fill_update_fixture(b);
+      kernels::update_block_variant(b, bdt, w, v);
+      for (int iz = 0; iz < 16; ++iz)
+        for (int iy = 0; iy < 16; ++iy)
+          for (int ix = 0; ix < 16; ++ix)
+            for (int q = 0; q < kNumQuantities; ++q)
+              ASSERT_EQ(b(ix, iy, iz).q(q), scalar(ix, iy, iz).q(q))
+                  << "width=" << static_cast<int>(w) << " variant="
+                  << kernels::update_variant_name(v) << " at " << ix << "," << iy << ","
+                  << iz << " q=" << q;
+    }
+  }
+}
+
+TEST(UpdateVariants, AutoChoiceIsExecutableAndScalarNeverStreams) {
+  const kernels::UpdateChoice c = kernels::update_auto_choice(16, simd::Width::kAuto);
+  EXPECT_TRUE(simd::host_executes(c.width));
+  if (c.width == simd::Width::kScalar) {
+    EXPECT_EQ(c.variant, kernels::UpdateVariant::kRegular);
+  }
+}
+
+}  // namespace
+}  // namespace mpcf
