@@ -1,0 +1,267 @@
+#include "common/config_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "io/safe_file.h"
+
+namespace mpcf {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Strips a trailing comment from a non-value line (sections, blanks).
+std::string strip_comment(const std::string& line) {
+  const std::size_t p = line.find_first_of("#;");
+  return p == std::string::npos ? line : line.substr(0, p);
+}
+
+[[noreturn]] void fail(const std::string& name, int line, const std::string& msg) {
+  throw ConfigError(name + ":" + std::to_string(line) + ": " + msg);
+}
+
+/// Parses the value part of a `key = value` line: either a double-quoted
+/// string (comment characters inside are literal) or a bare token run that
+/// ends at the first comment character, trimmed.
+std::string parse_value(const std::string& name, int line, const std::string& raw) {
+  const std::string t = trim(raw);
+  if (!t.empty() && t.front() == '"') {
+    const std::size_t close = t.find('"', 1);
+    if (close == std::string::npos) fail(name, line, "unterminated quoted value");
+    const std::string rest = trim(strip_comment(t.substr(close + 1)));
+    if (!rest.empty()) fail(name, line, "trailing text after quoted value: '" + rest + "'");
+    return t.substr(1, close - 1);
+  }
+  return trim(strip_comment(raw));
+}
+
+}  // namespace
+
+Config Config::parse_string(const std::string& text, const std::string& name) {
+  Config cfg;
+  cfg.name_ = name;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  bool have_section = false;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string bare = trim(strip_comment(line));
+    if (bare.empty()) continue;  // blank or comment-only line
+    if (bare.size() >= 2 && bare.front() == '[') {
+      if (bare.back() != ']') fail(name, lineno, "malformed section header: '" + bare + "'");
+      section = trim(bare.substr(1, bare.size() - 2));
+      if (!valid_name(section))
+        fail(name, lineno, "invalid section name: '" + section + "'");
+      have_section = true;
+      cfg.sections_[section];  // a section may legitimately be empty
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos || bare.find('=') == std::string::npos)
+      fail(name, lineno, "expected 'key = value' or '[section]', got: '" + bare + "'");
+    const std::string key = trim(line.substr(0, eq));
+    if (!valid_name(key)) fail(name, lineno, "invalid key name: '" + key + "'");
+    if (!have_section) fail(name, lineno, "key '" + key + "' before any [section]");
+    const std::string value = parse_value(name, lineno, line.substr(eq + 1));
+    auto& keys = cfg.sections_[section].keys;
+    const auto it = keys.find(key);
+    if (it != keys.end())
+      fail(name, lineno,
+           "duplicate key '" + key + "' in [" + section + "] (first defined at line " +
+               std::to_string(it->second.line) + ")");
+    keys.emplace(key, Entry{value, lineno, false});
+  }
+  return cfg;
+}
+
+Config Config::parse_file(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = io::read_file(path);
+  return parse_string(std::string(bytes.begin(), bytes.end()), path);
+}
+
+const Config::Entry* Config::find(const std::string& section, const std::string& key) const {
+  const auto sit = sections_.find(section);
+  if (sit == sections_.end()) return nullptr;
+  const auto kit = sit->second.keys.find(key);
+  if (kit == sit->second.keys.end()) return nullptr;
+  kit->second.used = true;
+  return &kit->second;
+}
+
+std::string Config::where(const std::string& section, const std::string& key,
+                          const Entry& e) const {
+  const std::string loc = e.line > 0 ? name_ + ":" + std::to_string(e.line) : "<override>";
+  return loc + ": [" + section + "] " + key + ": ";
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  const auto sit = sections_.find(section);
+  return sit != sections_.end() && sit->second.keys.count(key) > 0;
+}
+
+bool Config::has_section(const std::string& section) const {
+  return sections_.count(section) > 0;
+}
+
+std::string Config::get_string(const std::string& section, const std::string& key,
+                               const std::string& def) const {
+  const Entry* e = find(section, key);
+  return e ? e->value : def;
+}
+
+long Config::get_long(const std::string& section, const std::string& key, long def) const {
+  const Entry* e = find(section, key);
+  if (!e) return def;
+  const std::string v = trim(e->value);
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE ||
+      parsed < std::numeric_limits<long>::min() || parsed > std::numeric_limits<long>::max())
+    throw ConfigError(where(section, key, *e) + "expected integer, got '" + e->value + "'");
+  return static_cast<long>(parsed);
+}
+
+int Config::get_int(const std::string& section, const std::string& key, int def) const {
+  const Entry* e = find(section, key);
+  if (!e) return def;
+  const long v = get_long(section, key, def);
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max())
+    throw ConfigError(where(section, key, *e) + "integer out of range: '" + e->value + "'");
+  return static_cast<int>(v);
+}
+
+double Config::get_double(const std::string& section, const std::string& key,
+                          double def) const {
+  const Entry* e = find(section, key);
+  if (!e) return def;
+  const std::string v = trim(e->value);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE)
+    throw ConfigError(where(section, key, *e) + "expected number, got '" + e->value + "'");
+  return parsed;
+}
+
+bool Config::get_bool(const std::string& section, const std::string& key, bool def) const {
+  const Entry* e = find(section, key);
+  if (!e) return def;
+  const std::string v = lower(trim(e->value));
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw ConfigError(where(section, key, *e) + "expected boolean (true/false/on/off/1/0), got '" +
+                    e->value + "'");
+}
+
+std::array<int, 3> Config::get_int3(const std::string& section, const std::string& key,
+                                    std::array<int, 3> def) const {
+  const Entry* e = find(section, key);
+  if (!e) return def;
+  std::string v = e->value;
+  std::replace(v.begin(), v.end(), ',', ' ');
+  std::istringstream in(v);
+  std::array<int, 3> out{};
+  std::string tok;
+  for (int i = 0; i < 3; ++i) {
+    if (!(in >> tok)) {
+      throw ConfigError(where(section, key, *e) + "expected three integers, got '" +
+                        e->value + "'");
+    }
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || errno == ERANGE ||
+        parsed < std::numeric_limits<int>::min() || parsed > std::numeric_limits<int>::max())
+      throw ConfigError(where(section, key, *e) + "expected three integers, got '" +
+                        e->value + "'");
+    out[i] = static_cast<int>(parsed);
+  }
+  if (in >> tok)
+    throw ConfigError(where(section, key, *e) + "expected exactly three integers, got '" +
+                      e->value + "'");
+  return out;
+}
+
+std::string Config::require_string(const std::string& section, const std::string& key) const {
+  const Entry* e = find(section, key);
+  if (!e)
+    throw ConfigError(name_ + ": missing required key [" + section + "] " + key);
+  return e->value;
+}
+
+int Config::require_int(const std::string& section, const std::string& key) const {
+  if (!has(section, key))
+    throw ConfigError(name_ + ": missing required key [" + section + "] " + key);
+  return get_int(section, key, 0);
+}
+
+double Config::require_double(const std::string& section, const std::string& key) const {
+  if (!has(section, key))
+    throw ConfigError(name_ + ": missing required key [" + section + "] " + key);
+  return get_double(section, key, 0.0);
+}
+
+void Config::set(const std::string& section, const std::string& key,
+                 const std::string& value) {
+  require(valid_name(section) && valid_name(key),
+          "Config::set: invalid section/key name '" + section + "." + key + "'");
+  sections_[section].keys[key] = Entry{value, 0, false};
+}
+
+void Config::mark_section_used(const std::string& section) const {
+  const auto sit = sections_.find(section);
+  if (sit == sections_.end()) return;
+  for (const auto& [key, entry] : sit->second.keys) entry.used = true;
+}
+
+std::vector<std::string> Config::unknown_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [sec, body] : sections_)
+    for (const auto& [key, entry] : body.keys)
+      if (!entry.used) out.push_back(sec + "." + key);
+  return out;  // maps iterate sorted
+}
+
+void Config::reject_unknown() const {
+  std::string msg;
+  for (const auto& [sec, body] : sections_)
+    for (const auto& [key, entry] : body.keys) {
+      if (entry.used) continue;
+      if (!msg.empty()) msg += "\n";
+      const std::string loc =
+          entry.line > 0 ? name_ + ":" + std::to_string(entry.line) : name_;
+      msg += loc + ": unknown key [" + sec + "] " + key;
+    }
+  if (!msg.empty()) throw ConfigError(msg);
+}
+
+}  // namespace mpcf

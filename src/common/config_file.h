@@ -1,0 +1,121 @@
+// Declarative run configuration: a small in-tree INI-subset parser that
+// drives the scenario engine (DESIGN.md §15). The format is deliberately
+// tiny — sections, `key = value` pairs, comments — because every scenario
+// knob is a scalar or a short tuple:
+//
+//   # cloud collapse at reproduction scale
+//   [scenario]
+//   name = cloud_collapse
+//   [simulation]
+//   blocks = 8 8 8
+//   extent = 2e-3
+//   [cloud]
+//   count = 12
+//   seed  = 42
+//
+// Design rules, all enforced with `file:line`-prefixed ConfigError messages:
+//   * every typed getter validates the full token ("12x" is not an int);
+//   * duplicate keys in a section are an error (silent last-wins hides
+//     config typos that would otherwise burn a whole batch job);
+//   * getters mark keys as consumed, and reject_unknown() reports every key
+//     no reader ever asked about — a misspelled knob fails the job up front
+//     instead of silently running defaults.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mpcf {
+
+/// Thrown on malformed config text, type mismatches, missing required keys
+/// and unknown-key rejection. Messages carry `path:line:` where available.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses a config file from disk (throws ConfigError / PreconditionError
+  /// when the file is unreadable or malformed).
+  [[nodiscard]] static Config parse_file(const std::string& path);
+
+  /// Parses config text directly; `name` stands in for the path in errors.
+  [[nodiscard]] static Config parse_string(const std::string& text,
+                                           const std::string& name = "<config>");
+
+  /// The path (or synthetic name) errors are reported against.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] bool has(const std::string& section, const std::string& key) const;
+  [[nodiscard]] bool has_section(const std::string& section) const;
+
+  // --- Typed getters with defaults. A present key is parsed strictly (a
+  // --- malformed value throws even when a default exists) and marked
+  // --- consumed; an absent key yields the default.
+  [[nodiscard]] std::string get_string(const std::string& section, const std::string& key,
+                                       const std::string& def) const;
+  [[nodiscard]] int get_int(const std::string& section, const std::string& key,
+                            int def) const;
+  [[nodiscard]] long get_long(const std::string& section, const std::string& key,
+                              long def) const;
+  [[nodiscard]] double get_double(const std::string& section, const std::string& key,
+                                  double def) const;
+  [[nodiscard]] bool get_bool(const std::string& section, const std::string& key,
+                              bool def) const;
+  /// Three whitespace- or comma-separated integers ("8 8 8" or "8,8,8").
+  [[nodiscard]] std::array<int, 3> get_int3(const std::string& section,
+                                            const std::string& key,
+                                            std::array<int, 3> def) const;
+
+  // --- Required variants: throw ConfigError naming the missing key.
+  [[nodiscard]] std::string require_string(const std::string& section,
+                                           const std::string& key) const;
+  [[nodiscard]] int require_int(const std::string& section, const std::string& key) const;
+  [[nodiscard]] double require_double(const std::string& section,
+                                      const std::string& key) const;
+
+  /// Inserts or overwrites a key programmatically (CLI `--set sec.key=val`
+  /// overrides); the entry reports as `<override>` in errors and starts
+  /// unconsumed like any parsed key.
+  void set(const std::string& section, const std::string& key, const std::string& value);
+
+  /// Marks every key of `section` consumed without reading it. Used for
+  /// sections owned by another layer of the stack (the job server's [job]
+  /// section rides inside worker configs).
+  void mark_section_used(const std::string& section) const;
+
+  /// Keys never consumed by any getter, as "section.key" sorted strings.
+  [[nodiscard]] std::vector<std::string> unknown_keys() const;
+
+  /// Throws ConfigError listing every unconsumed key with its file:line.
+  /// Call after all readers have run.
+  void reject_unknown() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    int line = 0;            ///< 1-based; 0 for programmatic set()
+    mutable bool used = false;
+  };
+  struct Section {
+    std::map<std::string, Entry> keys;
+  };
+
+  /// Looks a key up and marks it consumed; nullptr when absent.
+  [[nodiscard]] const Entry* find(const std::string& section, const std::string& key) const;
+  /// "path:line: [section] key: " prefix for type errors.
+  [[nodiscard]] std::string where(const std::string& section, const std::string& key,
+                                  const Entry& e) const;
+
+  std::map<std::string, Section> sections_;
+  std::string name_ = "<config>";
+};
+
+}  // namespace mpcf

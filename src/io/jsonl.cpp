@@ -1,0 +1,173 @@
+#include "io/jsonl.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace mpcf::io {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::raw(const std::string& key, const std::string& rendered) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + json_escape(key) + "\":" + rendered;
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& value) {
+  return raw(key, "\"" + json_escape(value) + "\"");
+}
+
+JsonObject& JsonObject::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return raw(key, buf);
+}
+
+JsonObject& JsonObject::add(const std::string& key, long value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+JsonlWriter::JsonlWriter(std::string path, bool fsync_each)
+    : path_(std::move(path)), fsync_each_(fsync_each) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw IoError("JsonlWriter: cannot open '" + path_ + "': " + std::strerror(errno));
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JsonlWriter::write_line(const std::string& json) {
+  std::string rec = json;
+  rec += '\n';
+  std::size_t off = 0;
+  while (off < rec.size()) {
+    const ssize_t n = ::write(fd_, rec.data() + off, rec.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("JsonlWriter: write to '" + path_ + "' failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0)
+    throw IoError("JsonlWriter: fsync of '" + path_ + "' failed: " + std::strerror(errno));
+}
+
+std::vector<std::string> read_jsonl(const std::string& path) {
+  std::vector<std::string> lines;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return lines;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw IoError("read_jsonl: cannot open '" + path + "': " + std::strerror(errno));
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw IoError("read_jsonl: read of '" + path + "' failed: " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = data.find('\n', start);
+    if (nl == std::string::npos) break;  // unterminated tail (torn write) dropped
+    if (nl > start) lines.push_back(data.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+namespace {
+
+/// Finds the character position right after `"key":` in a flat record.
+std::size_t value_pos(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + json_escape(key) + "\":";
+  const std::size_t p = line.find(needle);
+  return p == std::string::npos ? std::string::npos : p + needle.size();
+}
+
+}  // namespace
+
+std::optional<std::string> json_find_string(const std::string& line, const std::string& key) {
+  std::size_t p = value_pos(line, key);
+  if (p == std::string::npos || p >= line.size() || line[p] != '"') return std::nullopt;
+  ++p;
+  std::string out;
+  while (p < line.size() && line[p] != '"') {
+    if (line[p] == '\\' && p + 1 < line.size()) {
+      ++p;
+      switch (line[p]) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (p + 4 < line.size()) {
+            out += static_cast<char>(std::strtol(line.substr(p + 1, 4).c_str(), nullptr, 16));
+            p += 4;
+          }
+          break;
+        default: out += line[p];
+      }
+    } else {
+      out += line[p];
+    }
+    ++p;
+  }
+  if (p >= line.size()) return std::nullopt;  // unterminated string
+  return out;
+}
+
+std::optional<double> json_find_number(const std::string& line, const std::string& key) {
+  const std::size_t p = value_pos(line, key);
+  if (p == std::string::npos || p >= line.size()) return std::nullopt;
+  if (line.compare(p, 4, "true") == 0) return 1.0;
+  if (line.compare(p, 5, "false") == 0) return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str() + p, &end);
+  if (end == line.c_str() + p) return std::nullopt;
+  return v;
+}
+
+}  // namespace mpcf::io

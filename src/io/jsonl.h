@@ -1,0 +1,82 @@
+// Structured JSONL status streams for the scenario runner and the job
+// server (DESIGN.md §15). Unlike every other on-disk format in src/io these
+// files are *append-only live telemetry* — a monitoring process tails them
+// while the writer is still running — so the atomic temp+rename discipline
+// of SafeFile does not apply. Instead each record is one JSON object written
+// as a single write(2) of a complete line: a crash can tear at most the
+// final line, and the reader discards any unterminated tail, so consumers
+// always observe a prefix of complete records.
+//
+// The reading side deliberately stops short of a JSON parser: the helpers
+// extract scalar fields from records this module's own writer produced
+// (flat objects, escaped strings, plain numbers), which is all the job
+// server and the tests need.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mpcf::io {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslash, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Tiny flat-object builder: JsonObject().add("a", 1).add("b", "x").str()
+/// == R"({"a":1,"b":"x"})". Doubles render round-trip exact (%.17g).
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, const char* value);
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, long value);
+  JsonObject& add(const std::string& key, int value) { return add(key, static_cast<long>(value)); }
+  JsonObject& add(const std::string& key, bool value);
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObject& raw(const std::string& key, const std::string& rendered);
+  std::string body_;
+};
+
+/// Append-mode line writer: open(O_APPEND|O_CREAT), one write(2) per line.
+class JsonlWriter {
+ public:
+  /// Opens `path` for appending; throws IoError on failure. With
+  /// `fsync_each`, every line is fsync'd (job-server status files, where a
+  /// record must survive the server crashing right after the transition).
+  explicit JsonlWriter(std::string path, bool fsync_each = false);
+  ~JsonlWriter();
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Appends one record (a '\n' is added); throws IoError naming the path.
+  void write_line(const std::string& json);
+  void write(const JsonObject& obj) { write_line(obj.str()); }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_each_ = false;
+};
+
+/// Reads all *complete* lines of a JSONL file (an unterminated final line —
+/// a torn write from a killed process — is dropped). A missing file yields
+/// an empty vector: status consumers poll files that may not exist yet.
+[[nodiscard]] std::vector<std::string> read_jsonl(const std::string& path);
+
+/// Extracts the string value of `key` from a flat JSON record produced by
+/// JsonObject (unescapes). nullopt when the key is absent or not a string.
+[[nodiscard]] std::optional<std::string> json_find_string(const std::string& line,
+                                                          const std::string& key);
+
+/// Extracts the numeric value of `key` (also matches booleans as 0/1).
+[[nodiscard]] std::optional<double> json_find_number(const std::string& line,
+                                                     const std::string& key);
+
+}  // namespace mpcf::io

@@ -1,0 +1,110 @@
+#include "physics/riemann_exact.h"
+
+#include <cmath>
+#include <string>
+
+namespace mpcf::physics {
+
+namespace {
+
+struct SideFn {
+  double f;   ///< f_K(P): velocity change across the wave
+  double df;  ///< d f_K / dP
+};
+
+/// Toro eq. (4.6)/(4.7) in shifted pressure: the wave function of one side.
+SideFn side_fn(double P, double rho, double PK, double g) {
+  const double c = std::sqrt(g * PK / rho);
+  if (P > PK) {  // shock
+    const double A = 2.0 / ((g + 1.0) * rho);
+    const double B = (g - 1.0) / (g + 1.0) * PK;
+    const double sq = std::sqrt(A / (P + B));
+    return {(P - PK) * sq, sq * (1.0 - 0.5 * (P - PK) / (B + P))};
+  }
+  // rarefaction
+  const double z = (g - 1.0) / (2.0 * g);
+  const double pr = std::pow(P / PK, z);
+  return {2.0 * c / (g - 1.0) * (pr - 1.0), std::pow(P / PK, -z - 1.0) / (rho * c)};
+}
+
+}  // namespace
+
+ExactRiemann::ExactRiemann(const RiemannState& left, const RiemannState& right, double gamma,
+                           double pc)
+    : left_(left), right_(right), gamma_(gamma), pc_(pc) {
+  require(gamma > 1.0, "ExactRiemann: gamma must exceed 1");
+  const double PL = left.p + pc, PR = right.p + pc;
+  require(left.rho > 0 && right.rho > 0 && PL > 0 && PR > 0,
+          "ExactRiemann: non-physical initial states (rho, p + pc must be positive)");
+  const double g = gamma;
+  const double cL = std::sqrt(g * PL / left.rho), cR = std::sqrt(g * PR / right.rho);
+  const double du = right.u - left.u;
+  require(2.0 * (cL + cR) / (g - 1.0) > du,
+          "ExactRiemann: initial states generate vacuum (pressure positivity lost)");
+
+  // Two-rarefaction initial guess, clamped positive (Toro eq. 4.46).
+  const double z = (g - 1.0) / (2.0 * g);
+  double P = std::pow((cL + cR - 0.5 * (g - 1.0) * du) /
+                          (cL / std::pow(PL, z) + cR / std::pow(PR, z)),
+                      1.0 / z);
+  P = std::max(P, 1e-14 * std::min(PL, PR));
+
+  double err = 1.0;
+  for (int it = 0; it < 200 && err > 1e-14; ++it) {
+    const SideFn l = side_fn(P, left.rho, PL, g);
+    const SideFn r = side_fn(P, right.rho, PR, g);
+    const double delta = (l.f + r.f + du) / (l.df + r.df);
+    double Pn = P - delta;
+    if (Pn <= 0) Pn = 0.5 * P;  // bisect toward zero instead of overshooting
+    err = std::abs(Pn - P) / (0.5 * (Pn + P));
+    P = Pn;
+  }
+  const SideFn l = side_fn(P, left.rho, PL, g);
+  const SideFn r = side_fn(P, right.rho, PR, g);
+  p_star_ = P - pc_;
+  u_star_ = 0.5 * (left.u + right.u) + 0.5 * (r.f - l.f);
+}
+
+RiemannState ExactRiemann::sample_side(double xi, const RiemannState& s, int sign) const {
+  const double g = gamma_;
+  const double gr = (g - 1.0) / (g + 1.0);
+  // Mirror transform: the right family is the left family under x -> -x,
+  // u -> -u. Work in transformed variables, un-mirror the velocity at exit.
+  const double u = sign * s.u;
+  const double x = sign * xi;
+  const double us = sign * u_star_;
+  const double PK = s.p + pc_;
+  const double Ps = p_star_ + pc_;
+  const double c = std::sqrt(g * PK / s.rho);
+
+  if (Ps > PK) {  // shock
+    const double S = u - c * std::sqrt((g + 1.0) / (2.0 * g) * Ps / PK +
+                                       (g - 1.0) / (2.0 * g));
+    if (x < S) return s;
+    const double rho_star = s.rho * (Ps / PK + gr) / (gr * Ps / PK + 1.0);
+    return {rho_star, u_star_, p_star_};
+  }
+  // rarefaction
+  const double z = (g - 1.0) / (2.0 * g);
+  const double c_star = c * std::pow(Ps / PK, z);
+  const double head = u - c;
+  const double tail = us - c_star;
+  if (x <= head) return s;
+  if (x >= tail) {
+    const double rho_star = s.rho * std::pow(Ps / PK, 1.0 / g);
+    return {rho_star, u_star_, p_star_};
+  }
+  // inside the fan
+  const double cf = 2.0 / (g + 1.0) * (c + 0.5 * (g - 1.0) * (u - x));
+  const double uf = 2.0 / (g + 1.0) * (c + 0.5 * (g - 1.0) * u + x);
+  const double rho_f = s.rho * std::pow(cf / c, 2.0 / (g - 1.0));
+  const double Pf = PK * std::pow(cf / c, 2.0 * g / (g - 1.0));
+  return {rho_f, sign * uf, Pf - pc_};
+}
+
+RiemannState ExactRiemann::sample(double xi) const {
+  if (xi <= u_star_) return sample_side(xi, left_, +1);
+  return sample_side(xi, right_, -1);
+}
+
+}  // namespace mpcf::physics

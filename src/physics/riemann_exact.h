@@ -1,0 +1,45 @@
+// Exact Riemann solver for the (stiffened-gas) Euler equations — the
+// reference solution behind the shock-tube validation scenarios (Sod et
+// al.). A stiffened gas with common stiffness pc on both sides behaves like
+// an ideal gas in the shifted pressure P = p + pc: the Hugoniot jump
+// conditions and the isentrope P ∝ rho^gamma keep their ideal-gas form, so
+// the classic two-wave iteration (Toro, "Riemann Solvers and Numerical
+// Methods for Fluid Dynamics", ch. 4) applies verbatim in P. With pc = 0
+// this is the textbook ideal-gas solver.
+#pragma once
+
+#include "common/error.h"
+
+namespace mpcf::physics {
+
+/// One side of the Riemann problem (primitive variables).
+struct RiemannState {
+  double rho;  ///< density
+  double u;    ///< normal velocity
+  double p;    ///< thermodynamic pressure
+};
+
+class ExactRiemann {
+ public:
+  /// Solves the star state for left/right data under a common (gamma, pc).
+  /// Throws PreconditionError on non-physical inputs or vacuum generation.
+  ExactRiemann(const RiemannState& left, const RiemannState& right, double gamma,
+               double pc = 0.0);
+
+  /// Star-region pressure and velocity.
+  [[nodiscard]] double p_star() const noexcept { return p_star_; }
+  [[nodiscard]] double u_star() const noexcept { return u_star_; }
+
+  /// Self-similar solution sampled at xi = x/t (x measured from the
+  /// diaphragm). For t = 0 callers should sample xi = +/-inf themselves.
+  [[nodiscard]] RiemannState sample(double xi) const;
+
+ private:
+  [[nodiscard]] RiemannState sample_side(double xi, const RiemannState& s, int sign) const;
+
+  RiemannState left_, right_;
+  double gamma_, pc_;
+  double p_star_ = 0, u_star_ = 0;
+};
+
+}  // namespace mpcf::physics

@@ -1,0 +1,60 @@
+// Scenario runner: drives any registered scenario from a Config to
+// completion — stop criteria, periodic diagnostics streamed as JSONL
+// progress records, compressed dumps, slice images, rotating checkpoints
+// and checkpoint resume. `mpcf-sim` is a thin CLI over run_scenario();
+// `mpcf-serve` workers are `mpcf-sim` processes, so a job that dies is
+// resumed by re-running with `resume = true` against the same outdir.
+#pragma once
+
+#include <string>
+
+#include "common/config_file.h"
+#include "core/diagnostics.h"
+#include "scenario/scenario.h"
+
+namespace mpcf::scenario {
+
+/// Settings read from the [run] and [fault] config sections.
+struct RunSettings {
+  StopCriteria stop;            ///< [run] steps / max_time (scenario defaults else)
+  long diag_every = 20;         ///< progress record cadence (0 = start/done only)
+  long dump_every = 0;          ///< compressed p/G dump cadence (0 = off)
+  float dump_eps_p = 1e5f;      ///< absolute pressure threshold [Pa]
+  float dump_eps_G = 2.3e-3f;   ///< absolute Gamma threshold
+  long slice_every = 0;         ///< pressure-slice PPM cadence (0 = off)
+  long checkpoint_every = 0;    ///< rotating checkpoint cadence (0 = off)
+  int checkpoint_keep = 3;      ///< rotation depth
+  /// Deterministic fault injection for the job-service tests and CI: the
+  /// worker _exit(9)s right after completing step `exit_at_step` (post
+  /// checkpoint), but only on attempt `exit_on_attempt` (-1 = every
+  /// attempt). Mirrors the MPCF_IO_FAULT idiom: harmless unless configured.
+  long fault_exit_at_step = -1;
+  int fault_exit_on_attempt = 0;
+};
+
+/// Reads [run]/[fault] with scenario stop defaults folded in; also consumes
+/// the [job] section (owned by the mpcf-serve side of the protocol). Throws
+/// ConfigError when no stop criterion exists at all.
+[[nodiscard]] RunSettings read_run_settings(const Config& cfg, const StopCriteria& defaults);
+
+struct RunOptions {
+  std::string outdir;   ///< "" = no file output (progress/dumps/checkpoints off)
+  bool resume = false;  ///< restore the newest valid rotating checkpoint
+  int attempt = 0;      ///< retry ordinal (mpcf-serve sets MPCF_JOB_ATTEMPT)
+  bool quiet = false;   ///< suppress the human-readable stdout table
+};
+
+struct RunResult {
+  std::string scenario;
+  long steps = 0;          ///< total step count at exit
+  double time = 0;         ///< simulated seconds at exit
+  long resumed_from = -1;  ///< step restored from checkpoint (-1 = fresh)
+  double wall_seconds = 0;
+  Diagnostics final_diag;
+};
+
+/// Builds the configured scenario, rejects unknown config keys, then steps
+/// to the stop criterion. Throws ConfigError / PreconditionError / IoError.
+RunResult run_scenario(const Config& cfg, const RunOptions& opt);
+
+}  // namespace mpcf::scenario

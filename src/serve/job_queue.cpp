@@ -1,0 +1,25 @@
+#include "serve/job_queue.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace mpcf::serve {
+
+std::vector<JobSpec> scan_queue(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<JobSpec> jobs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".cfg") continue;
+    const std::string stem = p.stem().string();
+    if (stem.empty() || stem[0] == '.') continue;
+    jobs.push_back({stem, p.string()});
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.name < b.name; });
+  return jobs;
+}
+
+}  // namespace mpcf::serve

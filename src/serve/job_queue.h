@@ -1,0 +1,22 @@
+// File-system job queue: a job is one scenario config file dropped into the
+// queue directory (`<name>.cfg`). Jobs are ordered by file name — producers
+// that care about order prefix a sequence number — and the optional [job]
+// section inside the config carries service-side knobs (retry budget).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpcf::serve {
+
+struct JobSpec {
+  std::string name;         ///< config file stem; also the output subdirectory
+  std::string config_path;  ///< absolute or queue-relative path to the config
+};
+
+/// Lists `*.cfg` jobs in `dir` sorted by name. Dotfiles and files still
+/// being written under other extensions are ignored; a missing directory
+/// yields an empty queue (the server may start before the producer).
+[[nodiscard]] std::vector<JobSpec> scan_queue(const std::string& dir);
+
+}  // namespace mpcf::serve

@@ -1,0 +1,191 @@
+#include "serve/server.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <deque>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/config_file.h"
+#include "core/profile.h"
+#include "io/jsonl.h"
+#include "serve/spawn.h"
+
+namespace mpcf::serve {
+namespace {
+
+/// Per-job retry budget: the [job] section of the job's own config overrides
+/// the server default. A config the parser rejects keeps the default — the
+/// worker will fail on the same config with a ConfigError worth retrying
+/// zero times, but that is the failure path's business, not admission's.
+int job_retries(const JobSpec& spec, int fallback) {
+  try {
+    return Config::parse_file(spec.config_path).get_int("job", "retries", fallback);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+struct JobServer::Job {
+  JobSpec spec;
+  std::string outdir;
+  int attempt = 0;
+  int retries = 0;
+  pid_t pid = -1;
+  bool timed_out = false;
+  Timer attempt_clock;
+  ExitEvent last_exit;
+};
+
+JobServer::JobServer(ServeOptions opt) : opt_(std::move(opt)) {
+  if (opt_.queue_dir.empty()) throw ServeError("JobServer: queue directory not set");
+  if (opt_.out_root.empty()) throw ServeError("JobServer: output root not set");
+  if (opt_.max_workers < 1) throw ServeError("JobServer: max_workers must be >= 1");
+  std::filesystem::create_directories(opt_.out_root);
+  status_path_ = opt_.out_root + "/status.jsonl";
+  status_ = std::make_unique<io::JsonlWriter>(status_path_, /*fsync_each=*/true);
+}
+
+JobServer::~JobServer() = default;
+
+void JobServer::record(const Job& job, const char* state) {
+  io::JsonObject o;
+  o.add("event", "job")
+      .add("job", job.spec.name)
+      .add("state", state)
+      .add("attempt", job.attempt);
+  if (job.pid > 0) o.add("pid", static_cast<long>(job.pid));
+  if (job.last_exit.pid >= 0) {
+    if (job.last_exit.exited) o.add("exit_code", job.last_exit.exit_code);
+    if (job.last_exit.signaled) o.add("signal", job.last_exit.signal);
+  }
+  status_->write(o);
+}
+
+void JobServer::launch(Job& job) {
+  std::filesystem::create_directories(job.outdir);
+  SpawnSpec spec;
+  spec.argv = {opt_.sim_binary, job.spec.config_path, "--out", job.outdir, "--quiet"};
+  if (job.attempt > 0) spec.argv.push_back("--resume");
+  spec.env = {{"MPCF_JOB_ATTEMPT", std::to_string(job.attempt)}};
+  spec.log_path = job.outdir + "/worker.log";
+  job.timed_out = false;
+  job.last_exit = ExitEvent{};
+  job.pid = spawn_process(spec);
+  job.attempt_clock.restart();
+  record(job, "running");
+}
+
+ServeReport JobServer::run() {
+  ServeReport report;
+  std::set<std::string> seen;  // admitted or skipped names (watch-mode dedup)
+  std::deque<Job> pending;
+  std::vector<Job> running;
+  long admitted = 0;
+
+  const auto stopping = [&] { return opt_.stop && opt_.stop->load(); };
+
+  const auto admit = [&] {
+    for (const JobSpec& spec : scan_queue(opt_.queue_dir)) {
+      if (!seen.insert(spec.name).second) continue;
+      Job job;
+      job.spec = spec;
+      job.outdir = opt_.out_root + "/" + spec.name;
+      if (opt_.max_jobs >= 0 && admitted >= opt_.max_jobs) {
+        record(job, "skipped");
+        ++report.skipped;
+        continue;
+      }
+      ++admitted;
+      job.retries = job_retries(spec, opt_.max_retries);
+      record(job, "queued");
+      pending.push_back(std::move(job));
+    }
+  };
+
+  admit();
+
+  while (!stopping()) {
+    while (!pending.empty() && static_cast<int>(running.size()) < opt_.max_workers) {
+      running.push_back(std::move(pending.front()));
+      pending.pop_front();
+      launch(running.back());
+    }
+    if (running.empty() && pending.empty()) {
+      if (!opt_.watch) break;
+      admit();
+      if (pending.empty()) ::usleep(static_cast<useconds_t>(opt_.poll_ms) * 1000);
+      continue;
+    }
+
+    if (opt_.job_timeout_s > 0)
+      for (Job& job : running)
+        if (!job.timed_out && job.attempt_clock.seconds() > opt_.job_timeout_s) {
+          // A wedged worker is indistinguishable from a dead one to the
+          // queue; SIGKILL converts it into the ordinary crash/retry path.
+          job.timed_out = true;
+          record(job, "timeout");
+          terminate_process(job.pid, SIGKILL);
+        }
+
+    const auto ev = reap_any(/*block=*/false);
+    if (!ev) {
+      ::usleep(static_cast<useconds_t>(opt_.poll_ms) * 1000);
+      if (opt_.watch) admit();
+      continue;
+    }
+    auto it = running.begin();
+    while (it != running.end() && it->pid != ev->pid) ++it;
+    if (it == running.end()) continue;  // not one of ours
+    Job job = std::move(*it);
+    running.erase(it);
+    job.last_exit = *ev;
+
+    if (ev->success()) {
+      record(job, "done");
+      ++report.done;
+    } else {
+      record(job, "crashed");
+      if (job.attempt < job.retries) {
+        ++job.attempt;
+        ++report.retried;
+        record(job, "retrying");
+        pending.push_front(std::move(job));  // resume before fresh work
+      } else {
+        record(job, "failed");
+        ++report.failed;
+      }
+    }
+  }
+
+  if (stopping()) {
+    report.interrupted = !pending.empty() || !running.empty();
+    for (Job& job : running) terminate_process(job.pid, SIGTERM);
+    while (!running.empty()) {
+      const auto ev = reap_any(/*block=*/true);
+      if (!ev) break;
+      auto it = running.begin();
+      while (it != running.end() && it->pid != ev->pid) ++it;
+      if (it == running.end()) continue;
+      it->last_exit = *ev;
+      record(*it, "interrupted");
+      running.erase(it);
+    }
+  }
+
+  status_->write(io::JsonObject()
+                     .add("event", "server")
+                     .add("done", report.done)
+                     .add("failed", report.failed)
+                     .add("skipped", report.skipped)
+                     .add("retried", report.retried)
+                     .add("interrupted", report.interrupted));
+  return report;
+}
+
+}  // namespace mpcf::serve

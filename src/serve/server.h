@@ -1,0 +1,71 @@
+// Job server (DESIGN.md §15): drains a directory of scenario-config jobs
+// through a pool of `mpcf-sim` worker processes. Every job-state transition
+// is appended (fsync'd) to `<out_root>/status.jsonl`, so a monitoring
+// process — or the CI serve-smoke job — can tail the service live and a
+// server crash never loses a recorded transition.
+//
+// Fault policy: a worker that exits nonzero or dies on a signal is retried
+// up to its retry budget, each retry resuming from the job's newest valid
+// rotating checkpoint (`mpcf-sim --resume`), so a kill -9 mid-run costs at
+// most one checkpoint interval, not the whole job. A worker that exceeds
+// the optional timeout is SIGKILLed and takes the same retry path: a dead
+// or wedged worker surfaces as `retrying`/`failed` status, never a hang.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "serve/job_queue.h"
+
+namespace mpcf::io {
+class JsonlWriter;
+}
+
+namespace mpcf::serve {
+
+struct ServeOptions {
+  std::string queue_dir;           ///< directory of `<name>.cfg` job specs
+  std::string out_root;            ///< per-job outputs land in <out_root>/<name>
+  std::string sim_binary = "mpcf-sim";  ///< worker executable (PATH-resolved)
+  int max_workers = 2;             ///< concurrent worker processes
+  int max_retries = 1;             ///< default retry budget ([job] retries overrides)
+  long max_jobs = -1;              ///< admission cap; excess jobs are skipped (-1 = all)
+  int poll_ms = 50;                ///< reap/launch poll interval
+  double job_timeout_s = 0;        ///< wall-clock kill threshold per attempt (0 = off)
+  bool watch = false;              ///< keep rescanning the queue after draining it
+  const std::atomic<bool>* stop = nullptr;  ///< cooperative shutdown flag
+};
+
+struct ServeReport {
+  long done = 0;     ///< jobs that reached `done`
+  long failed = 0;   ///< jobs that exhausted their retry budget
+  long skipped = 0;  ///< jobs rejected by the max_jobs admission cap
+  long retried = 0;  ///< worker restarts performed
+  bool interrupted = false;  ///< stop flag fired before the queue drained
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServeOptions opt);
+  ~JobServer();
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Runs until the queue is drained (or forever with `watch`, until the
+  /// stop flag fires). Throws ServeError on unusable queue/output setup.
+  ServeReport run();
+
+  [[nodiscard]] const std::string& status_path() const noexcept { return status_path_; }
+
+ private:
+  struct Job;
+  void launch(Job& job);
+  void record(const Job& job, const char* state);
+
+  ServeOptions opt_;
+  std::string status_path_;
+  std::unique_ptr<io::JsonlWriter> status_;
+};
+
+}  // namespace mpcf::serve

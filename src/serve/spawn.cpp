@@ -1,0 +1,73 @@
+#include "serve/spawn.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mpcf::serve {
+
+pid_t spawn_process(const SpawnSpec& spec) {
+  if (spec.argv.empty()) throw ServeError("spawn_process: empty argv");
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw ServeError(std::string("spawn_process: fork failed: ") + std::strerror(errno));
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec; any failure path must
+    // _exit, never return into the parent's stack.
+    if (!spec.log_path.empty()) {
+      const int fd = ::open(spec.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    for (const auto& [key, value] : spec.env) ::setenv(key.c_str(), value.c_str(), 1);
+    std::vector<char*> argv;
+    argv.reserve(spec.argv.size() + 1);
+    for (const std::string& a : spec.argv) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    std::fprintf(stderr, "spawn_process: exec '%s' failed: %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+std::optional<ExitEvent> reap_any(bool block) {
+  while (true) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, block ? 0 : WNOHANG);
+    if (pid == 0) return std::nullopt;  // non-blocking: nothing exited
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;  // ECHILD: no children at all
+    }
+    ExitEvent ev;
+    ev.pid = pid;
+    if (WIFEXITED(status)) {
+      ev.exited = true;
+      ev.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      ev.signaled = true;
+      ev.signal = WTERMSIG(status);
+    } else {
+      continue;  // stop/continue notifications are not exits
+    }
+    return ev;
+  }
+}
+
+void terminate_process(pid_t pid, int signo) {
+  if (pid <= 0) return;
+  if (signo == 0) signo = SIGTERM;
+  if (::kill(pid, 0) == 0) ::kill(pid, signo);
+}
+
+}  // namespace mpcf::serve

@@ -1,0 +1,54 @@
+// Worker-process plumbing for the job service: fork/exec with stdout+stderr
+// redirected to a per-job log file, non-blocking reaping, and termination.
+// Modeled on the mpcf-run launcher (tools/mpcf-run): a worker that dies —
+// any exit, any signal — surfaces as a reaped ExitEvent the server turns
+// into a retry or a failure, never a hang.
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mpcf::serve {
+
+/// Thrown on job-service failures (spawn errors, malformed queue entries).
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SpawnSpec {
+  std::vector<std::string> argv;                       ///< argv[0] resolved via PATH
+  std::vector<std::pair<std::string, std::string>> env;///< extra environment
+  std::string log_path;  ///< stdout+stderr destination ("" = inherit)
+};
+
+/// Forks and execs `spec.argv`; returns the child pid. Throws ServeError if
+/// the fork fails. An exec failure surfaces as the child exiting 127 (with
+/// the reason in the log file), exactly like mpcf-run ranks.
+[[nodiscard]] pid_t spawn_process(const SpawnSpec& spec);
+
+/// How one child left.
+struct ExitEvent {
+  pid_t pid = -1;
+  bool exited = false;    ///< normal exit (exit_code valid)
+  int exit_code = 0;
+  bool signaled = false;  ///< killed by a signal (signal valid)
+  int signal = 0;
+  [[nodiscard]] bool success() const noexcept { return exited && exit_code == 0; }
+};
+
+/// Reaps any exited child of this process. Non-blocking by default
+/// (nullopt = nothing exited yet); `block` waits for the next exit.
+/// nullopt with `block` means there are no children left.
+[[nodiscard]] std::optional<ExitEvent> reap_any(bool block = false);
+
+/// Sends `signo` (default SIGTERM) to a live child; no-op for dead pids.
+void terminate_process(pid_t pid, int signo = 0);
+
+}  // namespace mpcf::serve

@@ -19,8 +19,13 @@ std::vector<Bubble> generate_cloud(const CloudParams& params, double extent) {
   cloud.reserve(params.count);
   int attempts = 0;
   while (static_cast<int>(cloud.size()) < params.count) {
-    require(++attempts <= params.max_attempts,
-            "generate_cloud: could not place all bubbles (region too dense)");
+    if (++attempts > params.max_attempts)
+      throw PreconditionError("generate_cloud: placed " +
+                              std::to_string(cloud.size()) + "/" +
+                              std::to_string(params.count) + " bubbles after " +
+                              std::to_string(params.max_attempts) +
+                              " attempts (seed " + std::to_string(params.seed) +
+                              ", region too dense)");
     Bubble b{upos(rng), upos(rng), upos(rng), 0.0};
     // Clipped lognormal radius (paper: 50-200 micron band).
     double r = urad(rng);

@@ -1,0 +1,301 @@
+// Job-service tests (DESIGN.md §15): JSONL telemetry round-trips, queue
+// scanning, the fork/exec/reap plumbing, and the JobServer end to end —
+// mixed-scenario drains across a worker pool, crash retry with checkpoint
+// resume (bitwise-verified against an uninterrupted run), retry-budget
+// exhaustion, and the admission cap. Worker processes are the real
+// `mpcf-sim` binary (path injected by CMake as MPCF_SIM_PATH).
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/jsonl.h"
+#include "io/safe_file.h"
+#include "serve/job_queue.h"
+#include "serve/server.h"
+#include "serve/spawn.h"
+
+namespace mpcf {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  io::SafeFile f(path);
+  f.write(text.data(), text.size());
+  f.commit();
+}
+
+/// States a job went through, in record order.
+std::vector<std::string> job_states(const std::string& status_path,
+                                    const std::string& job) {
+  std::vector<std::string> states;
+  for (const std::string& line : io::read_jsonl(status_path)) {
+    if (io::json_find_string(line, "job").value_or("") != job) continue;
+    states.push_back(io::json_find_string(line, "state").value_or("?"));
+  }
+  return states;
+}
+
+long count_state(const std::string& status_path, const std::string& state) {
+  long n = 0;
+  for (const std::string& line : io::read_jsonl(status_path))
+    if (io::json_find_string(line, "state").value_or("") == state) ++n;
+  return n;
+}
+
+/// A minimal fast job: 4-block Sod tube for `steps` steps.
+std::string tube_job(int steps, const std::string& extra = "") {
+  return "[scenario]\nname = shock_tube\n[simulation]\nblocks = 4 1 1\n"
+         "[run]\nsteps = " +
+         std::to_string(steps) + "\ndiag_every = 0\n" + extra;
+}
+
+// --- JSONL --------------------------------------------------------------
+
+TEST(Jsonl, WriteReadRoundTrip) {
+  const std::string path = fresh_dir("mpcf_jsonl") + "/log.jsonl";
+  {
+    io::JsonlWriter w(path);
+    w.write(io::JsonObject().add("event", "start").add("step", 0L).add("ok", true));
+    w.write(io::JsonObject().add("event", "diag").add("t", 0.125).add(
+        "msg", "with \"quotes\" and\nnewline"));
+  }
+  const auto lines = io::read_jsonl(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(io::json_find_string(lines[0], "event").value_or(""), "start");
+  EXPECT_EQ(io::json_find_number(lines[0], "ok").value_or(-1), 1.0);
+  EXPECT_EQ(io::json_find_number(lines[1], "t").value_or(0), 0.125);
+  EXPECT_EQ(io::json_find_string(lines[1], "msg").value_or(""),
+            "with \"quotes\" and\nnewline");
+}
+
+TEST(Jsonl, TornTailIsDroppedAndMissingFileIsEmpty) {
+  const std::string dir = fresh_dir("mpcf_jsonl_torn");
+  EXPECT_TRUE(io::read_jsonl(dir + "/absent.jsonl").empty());
+  const std::string path = dir + "/torn.jsonl";
+  write_text(path, "{\"a\":1}\n{\"b\":2}\n{\"torn\":");
+  const auto lines = io::read_jsonl(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(io::json_find_number(lines[1], "b").value_or(0), 2.0);
+}
+
+// --- Queue scanning ------------------------------------------------------
+
+TEST(JobQueue, ScansCfgFilesSortedAndIgnoresForeignFiles) {
+  const std::string dir = fresh_dir("mpcf_queue_scan");
+  write_text(dir + "/b_second.cfg", "x");
+  write_text(dir + "/a_first.cfg", "x");
+  write_text(dir + "/notes.txt", "x");
+  write_text(dir + "/.hidden.cfg", "x");
+  EXPECT_TRUE(serve::scan_queue(dir + "/nonexistent").empty());
+  const auto jobs = serve::scan_queue(dir);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "a_first");
+  EXPECT_EQ(jobs[1].name, "b_second");
+}
+
+// --- Spawn / reap --------------------------------------------------------
+
+TEST(Spawn, CapturesExitCodeAndLog) {
+  const std::string dir = fresh_dir("mpcf_spawn");
+  serve::SpawnSpec spec;
+  spec.argv = {"/bin/sh", "-c", "echo worker output; exit 7"};
+  spec.log_path = dir + "/log.txt";
+  const pid_t pid = serve::spawn_process(spec);
+  const auto ev = serve::reap_any(/*block=*/true);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->pid, pid);
+  EXPECT_TRUE(ev->exited);
+  EXPECT_EQ(ev->exit_code, 7);
+  EXPECT_FALSE(ev->success());
+  const auto log = io::read_file(dir + "/log.txt");
+  EXPECT_NE(std::string(log.begin(), log.end()).find("worker output"),
+            std::string::npos);
+}
+
+TEST(Spawn, ReportsSignaledDeath) {
+  serve::SpawnSpec spec;
+  spec.argv = {"/bin/sh", "-c", "sleep 30"};
+  const pid_t pid = serve::spawn_process(spec);
+  serve::terminate_process(pid, SIGKILL);
+  const auto ev = serve::reap_any(/*block=*/true);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->pid, pid);
+  EXPECT_TRUE(ev->signaled);
+  EXPECT_EQ(ev->signal, SIGKILL);
+}
+
+TEST(Spawn, NonBlockingReapReturnsNulloptWithoutChildren) {
+  EXPECT_FALSE(serve::reap_any(/*block=*/false).has_value());
+}
+
+// --- JobServer end to end ------------------------------------------------
+
+serve::ServeOptions base_options(const std::string& queue, const std::string& out) {
+  serve::ServeOptions opt;
+  opt.queue_dir = queue;
+  opt.out_root = out;
+  opt.sim_binary = MPCF_SIM_PATH;
+  opt.poll_ms = 10;
+  return opt;
+}
+
+TEST(JobServer, DrainsMixedQueueAcrossWorkerPool) {
+  const std::string queue = fresh_dir("mpcf_serve_queue");
+  const std::string out = fresh_dir("mpcf_serve_out");
+  // Eight mixed-scenario jobs: mostly Sod tubes plus one tiny shock-bubble.
+  for (int i = 1; i <= 7; ++i)
+    write_text(queue + "/job" + std::to_string(i) + "_tube.cfg", tube_job(3 + i % 3));
+  write_text(queue + "/job8_bubble.cfg",
+             "[scenario]\nname = shock_bubble\n[simulation]\nblocks = 2 2 2\n"
+             "[run]\nsteps = 2\ndiag_every = 0\n");
+
+  auto opt = base_options(queue, out);
+  opt.max_workers = 2;
+  serve::JobServer server(opt);
+  const auto report = server.run();
+  EXPECT_EQ(report.done, 8);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_FALSE(report.interrupted);
+  EXPECT_EQ(count_state(server.status_path(), "done"), 8);
+  for (int i = 1; i <= 7; ++i) {
+    const std::string dir = out + "/job" + std::to_string(i) + "_tube";
+    EXPECT_FALSE(io::read_jsonl(dir + "/progress.jsonl").empty()) << dir;
+  }
+}
+
+TEST(JobServer, RetriesKilledWorkerAndResumesFromCheckpoint) {
+  const std::string queue = fresh_dir("mpcf_retry_queue");
+  const std::string out = fresh_dir("mpcf_retry_out");
+  // The faulty job _exit(9)s after step 4 on attempt 0 only; checkpoints
+  // land every 2 steps, so the retry resumes from step 4.
+  const std::string body = tube_job(
+      8, "checkpoint_every = 2\n[fault]\nexit_at_step = 4\nexit_on_attempt = 0\n");
+  write_text(queue + "/faulty.cfg", body);
+  // Reference job: same run with the fault disarmed (fires on attempt 99).
+  write_text(queue + "/reference.cfg",
+             tube_job(8, "checkpoint_every = 2\n[fault]\nexit_at_step = 4\n"
+                         "exit_on_attempt = 99\n"));
+
+  auto opt = base_options(queue, out);
+  opt.max_retries = 1;
+  serve::JobServer server(opt);
+  const auto report = server.run();
+  EXPECT_EQ(report.done, 2);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.retried, 1);
+
+  const auto states = job_states(server.status_path(), "faulty");
+  const std::vector<std::string> expected{"queued", "running", "crashed",
+                                          "retrying", "running", "done"};
+  EXPECT_EQ(states, expected);
+
+  // The resumed trajectory must be bitwise-identical to the uninterrupted
+  // reference: compare the final rotating checkpoints.
+  const auto a = io::read_file(out + "/faulty/checkpoints/ckp_00000008.ckp");
+  const auto b = io::read_file(out + "/reference/checkpoints/ckp_00000008.ckp");
+  EXPECT_TRUE(a == b) << "resumed job diverged from uninterrupted reference";
+
+  // The worker really was resumed, not restarted from scratch.
+  bool resumed = false;
+  for (const std::string& line : io::read_jsonl(out + "/faulty/progress.jsonl"))
+    if (io::json_find_string(line, "event").value_or("") == "start" &&
+        io::json_find_number(line, "resume_step").value_or(-1) == 4)
+      resumed = true;
+  EXPECT_TRUE(resumed);
+}
+
+TEST(JobServer, FailsJobAfterRetryBudgetExhausted) {
+  const std::string queue = fresh_dir("mpcf_budget_queue");
+  const std::string out = fresh_dir("mpcf_budget_out");
+  // exit_on_attempt = -1 fires on every attempt, and without checkpoints
+  // each retry restarts from step 0 and walks into the same fault — no
+  // retry budget can save the job.
+  write_text(queue + "/doomed.cfg",
+             tube_job(8, "[fault]\nexit_at_step = 4\nexit_on_attempt = -1\n"));
+  auto opt = base_options(queue, out);
+  opt.max_retries = 2;
+  serve::JobServer server(opt);
+  const auto report = server.run();
+  EXPECT_EQ(report.done, 0);
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_EQ(report.retried, 2);
+  const auto states = job_states(server.status_path(), "doomed");
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), "failed");
+  EXPECT_EQ(count_state(server.status_path(), "crashed"), 3);  // 1 + 2 retries
+}
+
+TEST(JobServer, PerJobRetryOverrideInConfig) {
+  const std::string queue = fresh_dir("mpcf_override_queue");
+  const std::string out = fresh_dir("mpcf_override_out");
+  // Server default would retry once; the job's own [job] section forbids it.
+  write_text(queue + "/noretry.cfg",
+             tube_job(8, "[fault]\nexit_at_step = 4\nexit_on_attempt = -1\n"
+                         "[job]\nretries = 0\n"));
+  auto opt = base_options(queue, out);
+  opt.max_retries = 5;
+  serve::JobServer server(opt);
+  const auto report = server.run();
+  EXPECT_EQ(report.failed, 1);
+  EXPECT_EQ(report.retried, 0);
+}
+
+TEST(JobServer, MaxJobsCapSkipsExcessJobs) {
+  const std::string queue = fresh_dir("mpcf_cap_queue");
+  const std::string out = fresh_dir("mpcf_cap_out");
+  for (int i = 1; i <= 4; ++i)
+    write_text(queue + "/j" + std::to_string(i) + ".cfg", tube_job(2));
+  auto opt = base_options(queue, out);
+  opt.max_jobs = 2;
+  serve::JobServer server(opt);
+  const auto report = server.run();
+  EXPECT_EQ(report.done, 2);
+  EXPECT_EQ(report.skipped, 2);
+  EXPECT_EQ(count_state(server.status_path(), "skipped"), 2);
+}
+
+TEST(JobServer, SingleWorkerRunsJobsInQueueOrder) {
+  const std::string queue = fresh_dir("mpcf_order_queue");
+  const std::string out = fresh_dir("mpcf_order_out");
+  for (const char* name : {"01_a.cfg", "02_b.cfg", "03_c.cfg"})
+    write_text(queue + std::string("/") + name, tube_job(2));
+  auto opt = base_options(queue, out);
+  opt.max_workers = 1;
+  serve::JobServer server(opt);
+  const auto report = server.run();
+  EXPECT_EQ(report.done, 3);
+  std::vector<std::string> running_order;
+  for (const std::string& line : io::read_jsonl(server.status_path()))
+    if (io::json_find_string(line, "state").value_or("") == "running")
+      running_order.push_back(io::json_find_string(line, "job").value_or("?"));
+  const std::vector<std::string> expected{"01_a", "02_b", "03_c"};
+  EXPECT_EQ(running_order, expected);
+}
+
+TEST(JobServer, StopFlagDrainsCleanly) {
+  const std::string queue = fresh_dir("mpcf_stop_queue");
+  const std::string out = fresh_dir("mpcf_stop_out");
+  write_text(queue + "/one.cfg", tube_job(2));
+  std::atomic<bool> stop{true};  // raised before run(): server must exit
+  auto opt = base_options(queue, out);
+  opt.stop = &stop;
+  serve::JobServer server(opt);
+  const auto report = server.run();
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.done, 0);
+}
+
+}  // namespace
+}  // namespace mpcf

@@ -71,7 +71,19 @@ TEST(CloudGenerator, ThrowsWhenRegionTooDense) {
   CloudParams p;
   p.count = 10000;
   p.max_attempts = 5000;
-  EXPECT_THROW((void)generate_cloud(p, 1e-3), PreconditionError);
+  p.seed = 77;
+  try {
+    (void)generate_cloud(p, 1e-3);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    // The message must carry enough to reproduce and diagnose the failure:
+    // placed/requested counts, the attempt budget and the seed.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("/10000 bubbles"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("5000 attempts"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seed 77"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("region too dense"), std::string::npos) << msg;
+  }
 }
 
 TEST(CloudGenerator, LognormalMedianNearMu) {

@@ -1,0 +1,85 @@
+// mpcf-serve: long-running job service over a directory queue of scenario
+// configs (DESIGN.md §15). Each `<name>.cfg` in the queue becomes one
+// `mpcf-sim` worker run with outputs in `<out>/<name>/`; job-state
+// transitions stream to `<out>/status.jsonl`. Workers that crash are
+// retried with checkpoint resume; SIGINT/SIGTERM drains cleanly.
+//
+//   mpcf-serve --queue DIR --out DIR [--sim PATH] [--workers N]
+//              [--retries N] [--max-jobs N] [--timeout-s S] [--poll-ms MS]
+//              [--watch]
+//
+// Exit codes: 0 all jobs done, 1 failures (or bad setup), 130 interrupted.
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "serve/server.h"
+#include "serve/spawn.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mpcf-serve --queue DIR --out DIR [--sim PATH] [--workers N] "
+               "[--retries N]\n"
+               "                  [--max-jobs N] [--timeout-s S] [--poll-ms MS] "
+               "[--watch]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mpcf::serve::ServeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--queue" && i + 1 < argc) {
+      opt.queue_dir = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out_root = argv[++i];
+    } else if (arg == "--sim" && i + 1 < argc) {
+      opt.sim_binary = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      opt.max_workers = std::atoi(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      opt.max_retries = std::atoi(argv[++i]);
+    } else if (arg == "--max-jobs" && i + 1 < argc) {
+      opt.max_jobs = std::atol(argv[++i]);
+    } else if (arg == "--timeout-s" && i + 1 < argc) {
+      opt.job_timeout_s = std::atof(argv[++i]);
+    } else if (arg == "--poll-ms" && i + 1 < argc) {
+      opt.poll_ms = std::atoi(argv[++i]);
+    } else if (arg == "--watch") {
+      opt.watch = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.queue_dir.empty() || opt.out_root.empty()) return usage();
+  opt.stop = &g_stop;
+
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  try {
+    mpcf::serve::JobServer server(opt);
+    const mpcf::serve::ServeReport r = server.run();
+    std::printf("mpcf-serve: %ld done, %ld failed, %ld skipped, %ld retried%s\n",
+                r.done, r.failed, r.skipped, r.retried,
+                r.interrupted ? " (interrupted)" : "");
+    if (r.interrupted) return 130;
+    return r.failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpcf-serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,93 @@
+// mpcf-sim: the single scenario driver (DESIGN.md §15) replacing the four
+// per-scenario example binaries. Everything physics-specific comes from the
+// config file; the CLI only adds run plumbing: output directory, checkpoint
+// resume, scripted overrides.
+//
+//   mpcf-sim <config.cfg> [--out DIR] [--resume] [--set sec.key=val]... [--quiet]
+//   mpcf-sim --list
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage, 3 config error.
+// MPCF_JOB_ATTEMPT (set by mpcf-serve) tags progress records and arms
+// attempt-keyed [fault] injection.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/config_file.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mpcf-sim <config.cfg> [--out DIR] [--resume] "
+               "[--set sec.key=val]... [--quiet]\n"
+               "       mpcf-sim --list\n");
+  return 2;
+}
+
+int list_scenarios() {
+  for (const auto& info : mpcf::scenario::registered())
+    std::printf("%-20s %s\n", info.name.c_str(), info.description.c_str());
+  return 0;
+}
+
+/// Applies one `--set section.key=value` override.
+bool apply_override(mpcf::Config& cfg, const std::string& spec) {
+  const auto eq = spec.find('=');
+  const auto dot = spec.find('.');
+  if (eq == std::string::npos || dot == std::string::npos || dot == 0 ||
+      dot + 1 >= eq || eq + 1 > spec.size())
+    return false;
+  cfg.set(spec.substr(0, dot), spec.substr(dot + 1, eq - dot - 1), spec.substr(eq + 1));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  mpcf::scenario::RunOptions opt;
+  std::vector<std::string> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") return list_scenarios();
+    if (arg == "--out" && i + 1 < argc) {
+      opt.outdir = argv[++i];
+    } else if (arg == "--set" && i + 1 < argc) {
+      overrides.push_back(argv[++i]);
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (config_path.empty()) return usage();
+  if (const char* a = std::getenv("MPCF_JOB_ATTEMPT")) opt.attempt = std::atoi(a);
+
+  try {
+    mpcf::Config cfg = mpcf::Config::parse_file(config_path);
+    for (const std::string& s : overrides)
+      if (!apply_override(cfg, s)) {
+        std::fprintf(stderr, "mpcf-sim: bad --set '%s' (want section.key=value)\n",
+                     s.c_str());
+        return 2;
+      }
+    mpcf::scenario::run_scenario(cfg, opt);
+  } catch (const mpcf::ConfigError& e) {
+    std::fprintf(stderr, "mpcf-sim: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpcf-sim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
