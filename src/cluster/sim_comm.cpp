@@ -44,7 +44,7 @@ void SimComm::send(int src, int dst, int tag, std::vector<float> data) {
   require(src >= 0 && src < size() && dst >= 0 && dst < size(),
           "SimComm::send: rank out of range");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stats_.messages++;
     stats_.bytes += data.size() * sizeof(float);
 #if MPCF_CHECKED
@@ -60,7 +60,7 @@ std::vector<float> SimComm::recv(int src, int dst, int tag) {
              "SimComm::recv rank (" + std::to_string(src) + "->" +
                  std::to_string(dst) + ") outside [0," + std::to_string(size()) + ")");
   std::vector<float> data = transport_->recv(src, dst, tag);
-  std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
 #if MPCF_CHECKED
   check_epoch_locked(src, dst, tag, "SimComm::recv");
 #endif
@@ -75,7 +75,7 @@ bool SimComm::try_recv(int src, int dst, int tag, std::vector<float>& out) {
                  std::to_string(dst) + ") outside [0," + std::to_string(size()) + ")");
   const bool got = transport_->try_recv(src, dst, tag, out);
   if (got) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
 #if MPCF_CHECKED
     check_epoch_locked(src, dst, tag, "SimComm::try_recv");
 #endif
@@ -90,7 +90,7 @@ bool SimComm::probe(int src, int dst, int tag) const {
 
 double SimComm::allreduce_max(const std::vector<double>& contributions) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stats_.collectives++;
   }
   return transport_->allreduce_max(contributions);
@@ -98,7 +98,7 @@ double SimComm::allreduce_max(const std::vector<double>& contributions) const {
 
 double SimComm::allreduce_sum(const std::vector<double>& contributions) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stats_.collectives++;
   }
   return transport_->allreduce_sum(contributions);
@@ -106,7 +106,7 @@ double SimComm::allreduce_sum(const std::vector<double>& contributions) const {
 
 std::vector<std::uint64_t> SimComm::exscan(const std::vector<std::uint64_t>& values) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stats_.collectives++;
   }
   return transport_->exscan(values);

@@ -12,13 +12,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "cluster/transport.h"
 #include "common/check.h"
 #include "common/error.h"
+#include "common/thread_safety.h"
 
 namespace mpcf::cluster {
 
@@ -86,16 +86,16 @@ class SimComm {
     double stall_seconds = 0;
   };
   [[nodiscard]] Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return stats_;
   }
   void reset_stats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stats_ = Stats{};
   }
   /// Accounts step-loop stall time (see Stats::stall_seconds).
   void add_stall_time(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stats_.stall_seconds += seconds;
   }
 
@@ -105,13 +105,14 @@ class SimComm {
   /// stage epoch (transport.h tag schema), and within one (src,dst,face)
   /// flow the epoch must never step backwards — a regression here means a
   /// stale slab from a previous stage would alias into the current one.
-  void check_epoch_locked(int src, int dst, int tag, const char* who) const;
-  mutable std::map<std::tuple<int, int, int>, long> last_epoch_;
+  void check_epoch_locked(int src, int dst, int tag, const char* who) const
+      MPCF_REQUIRES(mu_);
+  mutable std::map<std::tuple<int, int, int>, long> last_epoch_ MPCF_GUARDED_BY(mu_);
 #endif
 
   std::shared_ptr<Transport> transport_;
-  mutable std::mutex mu_;  ///< guards stats_ (and last_epoch_ when checked)
-  mutable Stats stats_;
+  mutable Mutex mu_;  ///< guards stats_ (and last_epoch_ when checked)
+  mutable Stats stats_ MPCF_GUARDED_BY(mu_);
 };
 
 }  // namespace mpcf::cluster

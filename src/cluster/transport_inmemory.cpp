@@ -38,7 +38,7 @@ void InMemoryTransport::send(int src, int dst, int tag, std::vector<float> data)
   require(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_,
           "InMemoryTransport::send: rank out of range");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     mailboxes_[Key{src, dst, tag}].push_back(std::move(data));
 #if MPCF_CHECKED
     SeqState& ss = seq_[Key{src, dst, tag}];
@@ -50,12 +50,13 @@ void InMemoryTransport::send(int src, int dst, int tag, std::vector<float> data)
 
 std::vector<float> InMemoryTransport::recv(int src, int dst, int tag) {
   const Key key{src, dst, tag};
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto has_message = [&] {
+  UniqueLock lock(mu_);
+  const auto has_message = [&]() MPCF_REQUIRES(mu_) {
     const auto it = mailboxes_.find(key);
     return it != mailboxes_.end() && !it->second.empty();
   };
-  if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_), has_message))
+  if (!cv_.wait_for(lock.std_lock(), std::chrono::duration<double>(timeout_),
+                    has_message))
     throw TransportError("recv timeout after " + std::to_string(timeout_) +
                          " s: no message from rank " + std::to_string(src) +
                          " to rank " + std::to_string(dst) + " with tag " +
@@ -65,7 +66,7 @@ std::vector<float> InMemoryTransport::recv(int src, int dst, int tag) {
 
 bool InMemoryTransport::try_recv(int src, int dst, int tag, std::vector<float>& out) {
   const Key key{src, dst, tag};
-  std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   const auto it = mailboxes_.find(key);
   if (it == mailboxes_.end() || it->second.empty()) return false;
   out = pop_locked(key);
@@ -73,7 +74,7 @@ bool InMemoryTransport::try_recv(int src, int dst, int tag, std::vector<float>& 
 }
 
 bool InMemoryTransport::probe(int src, int dst, int tag) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   const auto it = mailboxes_.find(Key{src, dst, tag});
   return it != mailboxes_.end() && !it->second.empty();
 }

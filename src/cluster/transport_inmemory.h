@@ -10,10 +10,10 @@
 #include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 
 #include "cluster/transport.h"
 #include "common/check.h"
+#include "common/thread_safety.h"
 
 namespace mpcf::cluster {
 
@@ -52,15 +52,15 @@ class InMemoryTransport final : public Transport {
 
   /// Pops the front message of the flow; caller holds mu_ and guarantees
   /// the mailbox is non-empty.
-  std::vector<float> pop_locked(const Key& key);
+  std::vector<float> pop_locked(const Key& key) MPCF_REQUIRES(mu_);
 
   int nranks_;
   std::vector<int> local_;
   double timeout_ = default_timeout_seconds();
+  Mutex mu_;
   // Mailboxes are FIFO queues: the overlapped schedule lets fast ranks run a
   // full RK stage ahead, so queues get deeper and pops must stay O(1).
-  std::map<Key, std::deque<std::vector<float>>> mailboxes_;
-  std::mutex mu_;
+  std::map<Key, std::deque<std::vector<float>>> mailboxes_ MPCF_GUARDED_BY(mu_);
   std::condition_variable cv_;
 #if MPCF_CHECKED
   /// Sequencing guard (checked builds only): every message of a (src,dst,
@@ -73,7 +73,7 @@ class InMemoryTransport final : public Transport {
     std::uint64_t next_recv = 0;
     std::deque<std::uint64_t> in_flight;  ///< parallels the mailbox deque
   };
-  std::map<Key, SeqState> seq_;
+  std::map<Key, SeqState> seq_ MPCF_GUARDED_BY(mu_);
 #endif
 };
 

@@ -168,8 +168,8 @@ namespace {
 // One mapping per (process, segment): rank-per-thread harnesses must share
 // the mapping, or the atomics' happens-before would live at per-thread
 // addresses invisible to each other (and to TSan).
-std::mutex g_registry_mu;
-std::map<std::string, std::weak_ptr<Segment>>& registry() {
+Mutex g_registry_mu;
+std::map<std::string, std::weak_ptr<Segment>>& registry() MPCF_REQUIRES(g_registry_mu) {
   static std::map<std::string, std::weak_ptr<Segment>> r;
   return r;
 }
@@ -192,7 +192,7 @@ void ring_copy_out(void* dst, const std::uint8_t* ring, std::size_t cap,
 }
 
 [[nodiscard]] std::shared_ptr<Segment> map_segment(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  const LockGuard lock(g_registry_mu);
   if (auto live = registry()[name].lock()) return live;
 
   const int fd = ::shm_open(name.c_str(), O_RDWR, 0);
@@ -339,14 +339,14 @@ void ShmTransport::send(int src, int dst, int tag, std::vector<float> data) {
 
   std::uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    const LockGuard lock(send_mu_);
     seq = send_seq_[{dst, tag}]++;
   }
 
   if (dst == rank_) {
     // Self-flow (periodic 1-rank axis): deliver straight into staging — the
     // ring would otherwise deadlock against our own backpressure.
-    std::lock_guard<std::mutex> lock(stage_mu_);
+    const LockGuard lock(stage_mu_);
     const std::uint64_t expect = recv_seq_[{rank_, tag}]++;
     if (seq != expect)
       throw TransportError("ShmTransport: self-flow sequence break on tag " +
@@ -363,7 +363,7 @@ void ShmTransport::send(int src, int dst, int tag, std::vector<float> data) {
   const std::uint8_t* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
   const std::uint64_t total = data.size() * sizeof(float);
 
-  std::lock_guard<std::mutex> lock(send_mu_);  // chunks of one message stay contiguous
+  const LockGuard lock(send_mu_);  // chunks of one message stay contiguous
   std::uint64_t sent = 0;
   bool first = true;
   while (first || sent < total) {
@@ -373,6 +373,8 @@ void ShmTransport::send(int src, int dst, int tag, std::vector<float> data) {
 
     const auto t0 = std::chrono::steady_clock::now();
     for (;;) {
+      // order: relaxed — this side is the only head writer; the acquire on
+      // tail below is what orders the reader's progress against our reuse.
       const std::uint64_t head = rc.head.load(std::memory_order_relaxed);
       const std::uint32_t ts = rc.tail_seq.load(std::memory_order_acquire);
       if (cap - (head - rc.tail.load(std::memory_order_acquire)) >= need) break;
@@ -383,9 +385,13 @@ void ShmTransport::send(int src, int dst, int tag, std::vector<float> data) {
                              std::to_string(timeout_) +
                              " s — receiver stuck or dead (tag " +
                              std::to_string(tag) + ")");
+      // mpcf-lint: allow(blocking-under-lock): designed backpressure — send_mu_ must stay
+      // held across the full-ring wait so the chunks of one message stay contiguous;
+      // the receiver never takes send_mu_, so this cannot deadlock.
       shm_detail::futex_wait(&rc.tail_seq, ts, shm_detail::kPollSliceSeconds);
     }
 
+    // order: relaxed — same thread wrote head above under send_mu_.
     const std::uint64_t head = rc.head.load(std::memory_order_relaxed);
     const Frame f{tag, seq, total, chunk};
     shm_detail::ring_copy_in(ring, cap, head, &f, sizeof(f));
@@ -404,6 +410,8 @@ void ShmTransport::pump_locked(int src) {
   const std::size_t cap = seg_->ring_bytes;
 
   for (;;) {
+    // order: relaxed — this side is the only tail writer (consumer-owned
+    // counter); head's acquire below pairs with the sender's release.
     const std::uint64_t tail = rc.tail.load(std::memory_order_relaxed);
     const std::uint64_t head = rc.head.load(std::memory_order_acquire);
     if (head - tail < sizeof(Frame)) return;
@@ -468,7 +476,7 @@ std::vector<float> ShmTransport::recv(int src, int dst, int tag) {
     // drain and the wait bumps the word, so the wait returns immediately.
     const std::uint32_t hs = rc.head_seq.load(std::memory_order_acquire);
     {
-      std::lock_guard<std::mutex> lock(stage_mu_);
+      const LockGuard lock(stage_mu_);
       pump_locked(src);
       const auto it = staged_.find(key);
       if (it != staged_.end() && !it->second.empty()) {
@@ -500,7 +508,7 @@ std::vector<float> ShmTransport::recv(int src, int dst, int tag) {
 bool ShmTransport::try_recv(int src, int dst, int tag, std::vector<float>& out) {
   require(dst == rank_, "ShmTransport::try_recv: dst is not the local rank");
   require(src >= 0 && src < seg_->nranks, "ShmTransport::try_recv: src out of range");
-  std::lock_guard<std::mutex> lock(stage_mu_);
+  const LockGuard lock(stage_mu_);
   pump_locked(src);
   const auto it = staged_.find(FlowKey{src, tag});
   if (it == staged_.end() || it->second.empty()) return false;
@@ -513,7 +521,7 @@ bool ShmTransport::try_recv(int src, int dst, int tag, std::vector<float>& out) 
 bool ShmTransport::probe(int src, int dst, int tag) {
   require(dst == rank_, "ShmTransport::probe: dst is not the local rank");
   require(src >= 0 && src < seg_->nranks, "ShmTransport::probe: src out of range");
-  std::lock_guard<std::mutex> lock(stage_mu_);
+  const LockGuard lock(stage_mu_);
   pump_locked(src);
   const auto it = staged_.find(FlowKey{src, tag});
   return it != staged_.end() && !it->second.empty();
@@ -526,6 +534,8 @@ void ShmTransport::barrier() {
   const std::uint32_t gen = h.bar_gen.load(std::memory_order_acquire);
   if (static_cast<int>(h.bar_count.fetch_add(1, std::memory_order_acq_rel)) + 1 ==
       seg_->nranks) {
+    // order: relaxed — the release fetch_add on bar_gen below publishes the
+    // reset; waiters only resume after observing the new generation.
     h.bar_count.store(0, std::memory_order_relaxed);
     h.bar_gen.fetch_add(1, std::memory_order_release);
     shm_detail::futex_wake_all(&h.bar_gen);

@@ -37,9 +37,9 @@
 #include <cstddef>
 #include <deque>
 #include <map>
-#include <mutex>
 
 #include "cluster/transport.h"
+#include "common/thread_safety.h"
 
 namespace mpcf::cluster {
 
@@ -109,7 +109,7 @@ class ShmTransport final : public Transport {
 
   /// Drains every complete frame currently in the (src -> rank_) ring into
   /// the staging area. Caller holds stage_mu_.
-  void pump_locked(int src);
+  void pump_locked(int src) MPCF_REQUIRES(stage_mu_);
   /// Throws TransportError if the segment is aborted or `peer` is dead /
   /// finalized while `what` still waits on it.
   void check_liveness(int peer, const char* what) const;
@@ -123,13 +123,15 @@ class ShmTransport final : public Transport {
   std::vector<int> local_;
   double timeout_ = default_timeout_seconds();
 
-  std::mutex send_mu_;  ///< serializes producers of this process's rings
-  std::map<std::pair<int, int>, std::uint64_t> send_seq_;  ///< (dst,tag) -> next
+  Mutex send_mu_;  ///< serializes producers of this process's rings
+  std::map<std::pair<int, int>, std::uint64_t> send_seq_
+      MPCF_GUARDED_BY(send_mu_);  ///< (dst,tag) -> next
 
-  std::mutex stage_mu_;  ///< guards staging, partials, recv_seq_
-  std::map<FlowKey, std::deque<std::vector<float>>> staged_;
-  std::vector<Partial> partials_;                ///< one per src ring
-  std::map<FlowKey, std::uint64_t> recv_seq_;    ///< next expected per flow
+  Mutex stage_mu_;  ///< guards staging, partials, recv_seq_
+  std::map<FlowKey, std::deque<std::vector<float>>> staged_ MPCF_GUARDED_BY(stage_mu_);
+  std::vector<Partial> partials_ MPCF_GUARDED_BY(stage_mu_);  ///< one per src ring
+  std::map<FlowKey, std::uint64_t> recv_seq_
+      MPCF_GUARDED_BY(stage_mu_);  ///< next expected per flow
 };
 
 }  // namespace mpcf::cluster

@@ -1,0 +1,87 @@
+// Clang thread-safety analysis wiring (-Wthread-safety). The MPCF_* macros
+// expand to clang capability attributes under clang and to nothing under any
+// other compiler, so annotations are free to spread through the runtime while
+// gcc release builds see plain code. A dedicated CI leg compiles the tree
+// with clang -Werror=thread-safety; the annotations turn lock-discipline
+// review comments ("caller holds mu_") into compile errors.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// can only see locks through annotated wrapper types:
+//
+//   mpcf::Mutex      an annotated std::mutex (MPCF_CAPABILITY)
+//   mpcf::LockGuard  scoped lock of a Mutex (MPCF_SCOPED_CAPABILITY)
+//   mpcf::UniqueLock scoped lock exposing the inner std::unique_lock for
+//                    condition_variable::wait (std_lock())
+//
+// Usage:
+//   mpcf::Mutex mu_;
+//   int counter_ MPCF_GUARDED_BY(mu_);
+//   void push_locked() MPCF_REQUIRES(mu_);   // "caller holds mu_", enforced
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define MPCF_TS_ATTR(x) __attribute__((x))
+#else
+#define MPCF_TS_ATTR(x)
+#endif
+
+#define MPCF_CAPABILITY(x) MPCF_TS_ATTR(capability(x))
+#define MPCF_SCOPED_CAPABILITY MPCF_TS_ATTR(scoped_lockable)
+#define MPCF_GUARDED_BY(x) MPCF_TS_ATTR(guarded_by(x))
+#define MPCF_PT_GUARDED_BY(x) MPCF_TS_ATTR(pt_guarded_by(x))
+#define MPCF_REQUIRES(...) MPCF_TS_ATTR(requires_capability(__VA_ARGS__))
+#define MPCF_ACQUIRE(...) MPCF_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define MPCF_RELEASE(...) MPCF_TS_ATTR(release_capability(__VA_ARGS__))
+#define MPCF_TRY_ACQUIRE(...) MPCF_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define MPCF_EXCLUDES(...) MPCF_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define MPCF_RETURN_CAPABILITY(x) MPCF_TS_ATTR(lock_returned(x))
+#define MPCF_NO_THREAD_SAFETY_ANALYSIS MPCF_TS_ATTR(no_thread_safety_analysis)
+
+namespace mpcf {
+
+/// std::mutex with capability attributes so clang's thread-safety analysis
+/// can track it. Lock through LockGuard/UniqueLock; native() exists for
+/// interop that the analysis cannot follow (and escapes it).
+class MPCF_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() MPCF_ACQUIRE() { mu_.lock(); }
+  void unlock() MPCF_RELEASE() { mu_.unlock(); }
+  bool try_lock() MPCF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// The wrapped mutex, for APIs that need the real type. Analysis-opaque.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock of a Mutex, visible to the analysis as a scoped capability.
+class MPCF_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) MPCF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() MPCF_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock of a Mutex that owns a real std::unique_lock, so it can be
+/// handed to condition_variable::wait*/wait_for via std_lock(). The wait's
+/// internal release/reacquire is invisible to the analysis, which matches
+/// the cv contract: the capability is held on every line the analysis sees.
+class MPCF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) MPCF_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueLock() MPCF_RELEASE() {}
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+  [[nodiscard]] std::unique_lock<std::mutex>& std_lock() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace mpcf

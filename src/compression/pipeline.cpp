@@ -79,6 +79,8 @@ CompressedQuantity compress_quantity_pipelined(const CubeSource& source, int bx,
     std::vector<float> coeffs;
     Timer t;
     for (;;) {
+      // order: relaxed — the counter only partitions chunk ids between
+      // workers; all cross-thread data handoff happens at thread join.
       const int c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) break;
       try {

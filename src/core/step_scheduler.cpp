@@ -4,10 +4,10 @@
 
 #include <algorithm>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/thread_safety.h"
 #include "core/profile.h"
 
 namespace mpcf {
@@ -168,19 +168,21 @@ void StepScheduler::run(const Hooks& hooks, int nthreads, bool fold_sos,
   const int np = plan_count_;
 
   for (int i = 0; i < n; ++i)
+    // order: relaxed — workers don't exist yet; thread creation below is the
+    // synchronization point that publishes these seeds.
     pending_[i].store(tasks_[i].init_pending, std::memory_order_relaxed);
-  remaining_.store(n, std::memory_order_relaxed);
-  abort_.store(false, std::memory_order_relaxed);
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  remaining_.store(n, std::memory_order_relaxed);  // order: pre-spawn, as above
+  abort_.store(false, std::memory_order_relaxed);  // order: pre-spawn, as above
+  std::exception_ptr first_error;  // written under error_mu (a local: no GUARDED_BY)
+  Mutex error_mu;
 
   // Per-thread deques: owners pop their own back (LIFO, cache-hot), thieves
   // steal from a victim's front (FIFO, oldest work). Drain tasks enter at
   // the front so their owner pops them last — a blocking receive must never
   // starve runnable compute on a single thread.
   struct alignas(64) ThreadQ {
-    std::mutex mu;
-    std::deque<int> q;
+    Mutex mu;
+    std::deque<int> q MPCF_GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<ThreadQ>> qs(static_cast<std::size_t>(nthreads));
   for (auto& q : qs) q = std::make_unique<ThreadQ>();
@@ -195,7 +197,7 @@ void StepScheduler::run(const Hooks& hooks, int nthreads, bool fold_sos,
   };
   const auto enqueue = [&](int t) {
     ThreadQ& tq = *qs[static_cast<std::size_t>(owner_of(t))];
-    const std::lock_guard<std::mutex> lk(tq.mu);
+    const LockGuard lk(tq.mu);
     if (tasks_[t].kind == Task::Kind::kDrain)
       tq.q.push_front(t);
     else
@@ -252,11 +254,13 @@ void StepScheduler::run(const Hooks& hooks, int nthreads, bool fold_sos,
     // Exceptions must not escape the parallel region: the first one aborts
     // the run and is rethrown below (CheckError provenance survives).
     try {
+      // order: relaxed — abort_ is a quit flag, not a data handoff; the
+      // error itself travels through error_mu.
       while (!abort_.load(std::memory_order_relaxed)) {
         int t = -1;
         {
           ThreadQ& tq = *qs[static_cast<std::size_t>(tid)];
-          const std::lock_guard<std::mutex> lk(tq.mu);
+          const LockGuard lk(tq.mu);
           if (!tq.q.empty()) {
             t = tq.q.back();
             tq.q.pop_back();
@@ -264,7 +268,7 @@ void StepScheduler::run(const Hooks& hooks, int nthreads, bool fold_sos,
         }
         for (int k = 1; k < nthreads && t < 0; ++k) {
           ThreadQ& vq = *qs[static_cast<std::size_t>((tid + k) % nthreads)];
-          const std::lock_guard<std::mutex> lk(vq.mu);
+          const LockGuard lk(vq.mu);
           if (!vq.q.empty()) {
             t = vq.q.front();
             vq.q.pop_front();
@@ -279,9 +283,11 @@ void StepScheduler::run(const Hooks& hooks, int nthreads, bool fold_sos,
       }
     } catch (...) {
       {
-        const std::lock_guard<std::mutex> lk(error_mu);
+        const LockGuard lk(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
+      // order: relaxed — same quit flag; first_error was published under
+      // error_mu above.
       abort_.store(true, std::memory_order_relaxed);
     }
   };
@@ -294,6 +300,8 @@ void StepScheduler::run(const Hooks& hooks, int nthreads, bool fold_sos,
   // Counter seeding must exactly match the graph's in-edges: after a clean
   // run every counter has been driven to precisely zero.
   for (int i = 0; i < n; ++i)
+    // order: relaxed — workers are joined (omp barrier); this is a
+    // single-threaded post-mortem read.
     MPCF_CHECK(pending_[i].load(std::memory_order_relaxed) == 0,
                "StepScheduler: dependency counter nonzero after completed run");
 #endif

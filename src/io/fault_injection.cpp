@@ -2,19 +2,19 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "common/error.h"
+#include "common/thread_safety.h"
 
 namespace mpcf::io::fault {
 
 namespace {
 
 struct State {
-  std::mutex mu;
-  Plan plan;
-  long writes_seen = 0;
-  bool has_fired = false;
+  Mutex mu;
+  Plan plan MPCF_GUARDED_BY(mu);
+  long writes_seen MPCF_GUARDED_BY(mu) = 0;
+  bool has_fired MPCF_GUARDED_BY(mu) = false;
 };
 
 State& state() {
@@ -26,7 +26,7 @@ State& state() {
 
 void arm(const Plan& plan) {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  const LockGuard lock(s.mu);
   s.plan = plan;
   s.writes_seen = 0;
   s.has_fired = false;
@@ -34,20 +34,20 @@ void arm(const Plan& plan) {
 
 void disarm() {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  const LockGuard lock(s.mu);
   s.plan = Plan{};
   s.writes_seen = 0;
 }
 
 bool armed() {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  const LockGuard lock(s.mu);
   return s.plan.kind != Kind::kNone;
 }
 
 bool fired() {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  const LockGuard lock(s.mu);
   return s.has_fired;
 }
 
@@ -81,7 +81,7 @@ void arm_from_env() {
 
 WriteFault on_write(std::size_t requested, std::size_t* torn_bytes) {
   State& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  const LockGuard lock(s.mu);
   if (s.plan.kind != Kind::kEnospc && s.plan.kind != Kind::kTornWrite)
     return WriteFault::kNone;
   const long index = s.writes_seen++;
@@ -101,7 +101,7 @@ void on_commit(const std::string& path) {
   State& s = state();
   Plan plan;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    const LockGuard lock(s.mu);
     if (s.plan.kind != Kind::kTruncate && s.plan.kind != Kind::kBitFlip) return;
     plan = s.plan;
     s.plan = Plan{};  // one-shot

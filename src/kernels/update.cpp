@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "core/profile.h"
 #include "simd/memory_ops.h"
 
@@ -55,7 +55,7 @@ void update_impl(Block& block, Real bdt) {
 class UpdateCalibrator {
  public:
   UpdateChoice choice(int bs, simd::Width requested) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     const bool pinned = requested != simd::Width::kAuto ||
                         std::getenv("MPCF_SIMD_WIDTH") != nullptr;
     const simd::Width resolved = simd::resolve_width(requested);
@@ -119,8 +119,8 @@ class UpdateCalibrator {
     return best;
   }
 
-  std::mutex mu_;
-  std::vector<Entry> cache_;  ///< a handful of block sizes per process
+  Mutex mu_;
+  std::vector<Entry> cache_ MPCF_GUARDED_BY(mu_);  ///< a handful of block sizes per process
 };
 
 UpdateCalibrator& calibrator() {

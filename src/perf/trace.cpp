@@ -13,6 +13,8 @@ namespace {
 /// in first-record order (std::thread::id is not JSON-friendly).
 int current_tid() {
   static std::atomic<int> next{0};
+  // order: relaxed — ids only need to be distinct, not ordered with any
+  // other memory.
   thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
   return tid;
 }
@@ -36,29 +38,33 @@ const char* trace_phase_name(TracePhase p) {
 }
 
 double Tracer::now_us() const {
-  return std::chrono::duration<double, std::micro>(clock::now() - epoch_).count();
+  // epoch_ must be read under mu_: clear() rewrites it concurrently with
+  // spans sampling the clock.
+  const clock::time_point t = clock::now();
+  const LockGuard lock(mu_);
+  return std::chrono::duration<double, std::micro>(t - epoch_).count();
 }
 
 void Tracer::record(TracePhase phase, int rank, double t0_us, double dur_us) {
   if (!enabled()) return;
   const int tid = current_tid();
-  std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   events_.push_back(TraceEvent{phase, rank, tid, t0_us, dur_us});
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   events_.clear();
   epoch_ = clock::now();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return events_;
 }
 
 double Tracer::total_seconds(TracePhase phase, int rank) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   double us = 0;
   for (const auto& e : events_)
     if (e.phase == phase && (rank < 0 || e.rank == rank)) us += e.dur_us;

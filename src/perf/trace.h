@@ -9,9 +9,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_safety.h"
 
 namespace mpcf::perf {
 
@@ -46,8 +47,11 @@ struct TraceEvent {
 
 class Tracer {
  public:
+  // order: relaxed — enabled_ is an on/off toggle with no data attached;
+  // spans racing with enable() may or may not record, both are valid.
   void enable(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
   [[nodiscard]] bool enabled() const noexcept {
+    // order: relaxed — see enable().
     return enabled_.load(std::memory_order_relaxed);
   }
 
@@ -74,9 +78,9 @@ class Tracer {
   using clock = std::chrono::steady_clock;
 
   std::atomic<bool> enabled_{false};
-  clock::time_point epoch_ = clock::now();
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  clock::time_point epoch_ MPCF_GUARDED_BY(mu_) = clock::now();
+  std::vector<TraceEvent> events_ MPCF_GUARDED_BY(mu_);
 };
 
 /// RAII span: samples the tracer clock on construction and records the

@@ -88,7 +88,11 @@ ServeReport JobServer::run() {
   std::vector<Job> running;
   long admitted = 0;
 
-  const auto stopping = [&] { return opt_.stop && opt_.stop->load(); };
+  const auto stopping = [&] {
+    // order: relaxed — the stop flag is set from a signal handler purely as
+    // a "please drain" hint; no data is published through it.
+    return opt_.stop && opt_.stop->load(std::memory_order_relaxed);
+  };
 
   const auto admit = [&] {
     for (const JobSpec& spec : scan_queue(opt_.queue_dir)) {

@@ -24,7 +24,10 @@ pid_t spawn_process(const SpawnSpec& spec) {
       if (fd >= 0) {
         ::dup2(fd, STDOUT_FILENO);
         ::dup2(fd, STDERR_FILENO);
-        if (fd > STDERR_FILENO) ::close(fd);
+        // Child between fork and exec: stdout/stderr already point at the
+        // log, the spare descriptor is disposable and there is nobody to
+        // report to but the log itself.
+        if (fd > STDERR_FILENO) (void)::close(fd);
       }
     }
     for (const auto& [key, value] : spec.env) ::setenv(key.c_str(), value.c_str(), 1);
@@ -67,7 +70,9 @@ std::optional<ExitEvent> reap_any(bool block) {
 void terminate_process(pid_t pid, int signo) {
   if (pid <= 0) return;
   if (signo == 0) signo = SIGTERM;
-  if (::kill(pid, 0) == 0) ::kill(pid, signo);
+  // Termination is best-effort: the only failure mode after the existence
+  // probe is the process exiting in between, which is the desired outcome.
+  if (::kill(pid, 0) == 0) (void)::kill(pid, signo);
 }
 
 }  // namespace mpcf::serve

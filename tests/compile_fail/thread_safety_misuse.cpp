@@ -1,0 +1,44 @@
+// Negative fixture for the clang thread-safety leg (test_thread_safety
+// annotations, tests/CMakeLists.txt): every access below violates a
+// capability contract from common/thread_safety.h, so compiling this file
+// with  -Werror=thread-safety  MUST fail. If it ever compiles cleanly, the
+// annotation macros have silently become no-ops under clang and the whole
+// analysis leg is vacuous — which is exactly what this fixture exists to
+// catch. The matching positive control is thread_safety_ok.cpp.
+#include "common/thread_safety.h"
+
+#include <vector>
+
+namespace {
+
+class Account {
+ public:
+  // BAD: reads balance_ without holding mu_.
+  [[nodiscard]] int peek() const { return balance_; }
+
+  // BAD: writes balance_ after the LockGuard's scope has closed.
+  void deposit(int amount) {
+    { const mpcf::LockGuard lock(mu_); }
+    balance_ += amount;
+  }
+
+  // BAD: declared as requiring mu_, called below without it.
+  void drain() MPCF_REQUIRES(mu_) { balance_ = 0; }
+
+  void reset() {
+    drain();  // caller does not hold mu_
+  }
+
+ private:
+  mutable mpcf::Mutex mu_;
+  int balance_ MPCF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  a.reset();
+  return a.peek();
+}

@@ -1,0 +1,52 @@
+// Positive control for the clang thread-safety leg: idiomatic use of every
+// wrapper in common/thread_safety.h (Mutex + LockGuard + UniqueLock +
+// GUARDED_BY + REQUIRES) must compile WITHOUT diagnostics under
+// -Werror=thread-safety. If this file fails, the wrappers themselves are
+// mis-annotated and the runtime tree would drown in false positives.
+#include "common/thread_safety.h"
+
+#include <condition_variable>
+#include <vector>
+
+namespace {
+
+class Account {
+ public:
+  [[nodiscard]] int peek() const {
+    const mpcf::LockGuard lock(mu_);
+    return balance_;
+  }
+
+  void deposit(int amount) {
+    const mpcf::LockGuard lock(mu_);
+    balance_ += amount;
+    history_.push_back(amount);
+  }
+
+  void drain() MPCF_REQUIRES(mu_) { balance_ = 0; }
+
+  void reset() {
+    const mpcf::LockGuard lock(mu_);
+    drain();
+  }
+
+  void wait_nonzero() {
+    mpcf::UniqueLock lock(mu_);
+    cv_.wait(lock.std_lock(), [&]() MPCF_REQUIRES(mu_) { return balance_ != 0; });
+  }
+
+ private:
+  mutable mpcf::Mutex mu_;
+  std::condition_variable cv_;
+  int balance_ MPCF_GUARDED_BY(mu_) = 0;
+  std::vector<int> history_ MPCF_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  a.reset();
+  return a.peek();
+}

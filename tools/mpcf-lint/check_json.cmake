@@ -1,0 +1,33 @@
+# Schema sanity check for the mpcf-lint JSON emitter, run as a ctest target.
+# Invokes the linter in --format=json over the tree and asserts the report
+# carries the documented shape (version/count/diagnostics keys, balanced
+# braces). Exit 0 and 1 are both valid linter outcomes here — the strict
+# gate is the separate mpcf_lint test; this one validates the report format.
+#
+# Usage: cmake -DLINT=<mpcf-lint> -DBASELINE=<baseline.json> -DPATHS=<dir;dir> -P check_json.cmake
+
+execute_process(
+  COMMAND ${LINT} --format=json --baseline ${BASELINE} ${PATHS}
+  OUTPUT_VARIABLE report
+  RESULT_VARIABLE rc)
+
+if(NOT (rc EQUAL 0 OR rc EQUAL 1))
+  message(FATAL_ERROR "mpcf-lint --format=json exited ${rc}")
+endif()
+
+foreach(key "\"version\": 1" "\"count\":" "\"diagnostics\":")
+  string(FIND "${report}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "JSON report missing ${key}:\n${report}")
+  endif()
+endforeach()
+
+string(REGEX MATCHALL "{" opens "${report}")
+string(REGEX MATCHALL "}" closes "${report}")
+list(LENGTH opens n_open)
+list(LENGTH closes n_close)
+if(NOT n_open EQUAL n_close)
+  message(FATAL_ERROR "JSON report braces unbalanced (${n_open} vs ${n_close})")
+endif()
+
+message(STATUS "mpcf-lint JSON report shape ok (exit ${rc})")

@@ -1,176 +1,16 @@
+// Orchestration: run every registered rule pack over one file, apply the
+// suppression grammar, and provide the JSON / baseline / fix-suppression
+// renderers the CLI and CI use. The analysis substrate and the rules
+// themselves live under rules/.
 #include "lint.h"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
-#include <cstddef>
-#include <set>
+
+#include "rules/engine.h"
 
 namespace mpcf::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Small text helpers.
-// ---------------------------------------------------------------------------
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Position of whole-word occurrence of `w` in `l` at or after `from`;
-/// npos if none.
-std::size_t find_word(const std::string& l, const std::string& w, std::size_t from = 0) {
-  for (std::size_t p = l.find(w, from); p != std::string::npos; p = l.find(w, p + 1)) {
-    const bool left_ok = p == 0 || !ident_char(l[p - 1]);
-    const bool right_ok = p + w.size() >= l.size() || !ident_char(l[p + w.size()]);
-    if (left_ok && right_ok) return p;
-  }
-  return std::string::npos;
-}
-
-std::string trimmed(const std::string& l) {
-  std::size_t a = l.find_first_not_of(" \t");
-  if (a == std::string::npos) return "";
-  std::size_t b = l.find_last_not_of(" \t");
-  return l.substr(a, b - a + 1);
-}
-
-bool contains(const std::string& path, const char* piece) {
-  return path.find(piece) != std::string::npos;
-}
-
-std::size_t skip_ws(const std::string& l, std::size_t p) {
-  while (p < l.size() && (l[p] == ' ' || l[p] == '\t')) ++p;
-  return p;
-}
-
-// ---------------------------------------------------------------------------
-// Scanner: split a translation unit into per-line code text (comments and
-// string/char literal contents blanked with spaces, so literals can never
-// match a rule) and per-line comment text (where annotations live).
-// ---------------------------------------------------------------------------
-
-struct FileImage {
-  std::vector<std::string> code;
-  std::vector<std::string> comment;
-};
-
-FileImage scan(const std::string& s) {
-  FileImage img;
-  std::string code_line, comment_line;
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_close;  // ")delim\"" terminator of the active raw string
-
-  auto flush = [&] {
-    img.code.push_back(code_line);
-    img.comment.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    const char c = s[i];
-    if (c == '\n') {
-      if (st == St::kLineComment) st = St::kCode;
-      flush();
-      continue;
-    }
-    switch (st) {
-      case St::kCode: {
-        const char next = i + 1 < s.size() ? s[i + 1] : '\0';
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"' && trimmed(code_line).starts_with("#")) {
-          // Preprocessor lines keep their quoted text verbatim so
-          // include-hygiene can see #include "path" targets; every content
-          // rule skips '#' lines.
-          code_line += c;
-        } else if (c == '"') {
-          // R"delim( ... )delim" — only when the quote follows an R prefix.
-          if (!code_line.empty() && code_line.back() == 'R' &&
-              (code_line.size() < 2 || !ident_char(code_line[code_line.size() - 2]))) {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < s.size() && s[j] != '(') delim += s[j++];
-            raw_close = ")" + delim + "\"";
-            st = St::kRaw;
-            code_line += '"';
-            for (std::size_t k = i + 1; k <= j && k < s.size(); ++k) code_line += ' ';
-            i = j;
-          } else {
-            st = St::kString;
-            code_line += '"';
-          }
-        } else if (c == '\'' && !(!code_line.empty() && ident_char(code_line.back()))) {
-          // Entered only after a non-identifier char: 1'000 digit separators
-          // stay plain code.
-          st = St::kChar;
-          code_line += '\'';
-        } else {
-          code_line += c;
-        }
-        break;
-      }
-      case St::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case St::kBlockComment:
-        if (c == '*' && i + 1 < s.size() && s[i + 1] == '/') {
-          st = St::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case St::kString:
-        if (c == '\\' && i + 1 < s.size()) {
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-          code_line += '"';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\' && i + 1 < s.size()) {
-          code_line += "  ";
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-          code_line += '\'';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case St::kRaw: {
-        if (s.compare(i, raw_close.size(), raw_close) == 0) {
-          for (std::size_t k = 1; k < raw_close.size(); ++k) code_line += ' ';
-          code_line += '"';
-          i += raw_close.size() - 1;
-          st = St::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      }
-    }
-  }
-  flush();
-  return img;
-}
 
 // ---------------------------------------------------------------------------
 // Suppressions:  // mpcf-lint: allow(<rule>): <justification>
@@ -178,7 +18,8 @@ FileImage scan(const std::string& s) {
 // ---------------------------------------------------------------------------
 
 struct Suppression {
-  int line;  // 1-based annotation line
+  int line;       // 1-based annotation line
+  int cover_end;  // last line covered: the code line after the comment block
   std::string rule;
   bool file_level;
 };
@@ -224,318 +65,91 @@ void parse_suppressions(const FileImage& img, const std::string& path,
                           "allow(" + rule + ") needs a justification string"});
         continue;
       }
-      sup->push_back({line, rule, file_level});
+      // A line-level allow covers its own line plus the first code line after
+      // the annotation's contiguous comment block, so justifications may wrap
+      // over several comment lines above the flagged statement.
+      int cover_end = line + 1;
+      while (static_cast<std::size_t>(cover_end) <= img.code.size() &&
+             trimmed(img.code[static_cast<std::size_t>(cover_end) - 1]).empty() &&
+             !trimmed(img.comment[static_cast<std::size_t>(cover_end) - 1]).empty())
+        ++cover_end;
+      sup->push_back({line, cover_end, rule, file_level});
     }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Rule: raw-io — no fopen/ofstream/... outside src/io (SafeFile is the only
-// crash-safe writer; see DESIGN.md §8).
+// Minimal JSON string escaping / scanning (no external deps).
 // ---------------------------------------------------------------------------
 
-void rule_raw_io(const FileImage& img, const std::string& path,
-                 std::vector<Diagnostic>* out) {
-  if (contains(path, "src/io/")) return;
-  static const std::array<const char*, 5> kTokens = {"fopen", "freopen", "ofstream",
-                                                     "ifstream", "fstream"};
-  for (std::size_t li = 0; li < img.code.size(); ++li) {
-    const std::string& l = img.code[li];
-    if (!l.empty() && trimmed(l).starts_with("#")) continue;  // includes etc.
-    for (const char* tok : kTokens) {
-      if (find_word(l, tok) != std::string::npos) {
-        out->push_back({path, static_cast<int>(li) + 1, "raw-io",
-                        std::string("raw file I/O ('") + tok +
-                            "') outside src/io; use io::SafeFile / io::read_file"});
-        break;  // one diagnostic per line is enough
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: hot-assert — assert() is compiled out by NDEBUG and its failure mode
-// (abort, no provenance) is useless at scale; src/ uses MPCF_CHECK.
-// ---------------------------------------------------------------------------
-
-void rule_hot_assert(const FileImage& img, const std::string& path,
-                     std::vector<Diagnostic>* out) {
-  if (!contains(path, "src/")) return;
-  for (std::size_t li = 0; li < img.code.size(); ++li) {
-    const std::string& l = img.code[li];
-    for (std::size_t p = find_word(l, "assert"); p != std::string::npos;
-         p = find_word(l, "assert", p + 1)) {
-      const std::size_t q = skip_ws(l, p + 6);
-      if (q < l.size() && l[q] == '(') {
-        out->push_back({path, static_cast<int>(li) + 1, "hot-assert",
-                        "assert() in src/; use MPCF_CHECK (common/check.h) so the "
-                        "guard exists exactly in MPCF_CHECKED builds with provenance"});
-        break;
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: reinterpret-cast — type punning is confined to the SIMD backends and
-// the serialization layer; anywhere else it must be justified in place.
-// ---------------------------------------------------------------------------
-
-void rule_reinterpret_cast(const FileImage& img, const std::string& path,
-                           std::vector<Diagnostic>* out) {
-  if (contains(path, "src/simd/") || contains(path, "src/io/")) return;
-  for (std::size_t li = 0; li < img.code.size(); ++li) {
-    if (find_word(img.code[li], "reinterpret_cast") != std::string::npos)
-      out->push_back({path, static_cast<int>(li) + 1, "reinterpret-cast",
-                      "reinterpret_cast outside the src/simd + src/io whitelist"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: kernel-alloc — no heap allocation or container growth inside loops
-// of kernel-scope files (src/kernels/, src/grid/lab.h). A token walk tracks
-// for/while bodies (braced or single-statement) and flags new/malloc family
-// and growth member calls inside them.
-// ---------------------------------------------------------------------------
-
-bool kernel_scope(const std::string& path) {
-  return contains(path, "src/kernels/") || contains(path, "src/grid/lab.h");
-}
-
-void rule_kernel_alloc(const FileImage& img, const std::string& path,
-                       std::vector<Diagnostic>* out) {
-  if (!kernel_scope(path)) return;
-
-  struct Tok {
-    std::string text;  // identifier, or 1-char punctuation
-    int line;
-  };
-  std::vector<Tok> toks;
-  for (std::size_t li = 0; li < img.code.size(); ++li) {
-    const std::string& l = img.code[li];
-    if (trimmed(l).starts_with("#")) continue;  // preprocessor
-    for (std::size_t p = 0; p < l.size();) {
-      if (ident_char(l[p])) {
-        std::size_t q = p;
-        while (q < l.size() && ident_char(l[q])) ++q;
-        toks.push_back({l.substr(p, q - p), static_cast<int>(li) + 1});
-        p = q;
-      } else {
-        if (!std::isspace(static_cast<unsigned char>(l[p])))
-          toks.push_back({std::string(1, l[p]), static_cast<int>(li) + 1});
-        ++p;
-      }
-    }
-  }
-
-  static const std::array<const char*, 4> kAllocCalls = {"malloc", "calloc", "realloc",
-                                                         "aligned_alloc"};
-  static const std::array<const char*, 5> kGrowthCalls = {"push_back", "emplace_back",
-                                                          "resize", "reserve", "insert"};
-
-  std::vector<bool> brace_is_loop;  // one entry per open {
-  int inline_loops = 0;             // brace-less for/while bodies (until ';')
-  bool pending_loop = false;        // saw for/while, inside its (...) header
-  int header_parens = 0;
-  bool awaiting_body = false;  // header closed, body token comes next
-
-  auto loop_depth = [&] {
-    int d = inline_loops;
-    for (bool b : brace_is_loop) d += b ? 1 : 0;
-    return d;
-  };
-
-  for (std::size_t t = 0; t < toks.size(); ++t) {
-    const std::string& x = toks[t].text;
-
-    if (awaiting_body) {
-      awaiting_body = false;
-      if (x == "{") {
-        brace_is_loop.push_back(true);
-        continue;
-      }
-      if (x == "for" || x == "while") {
-        // chained brace-less loop: for(..) for(..) { ... }
-        inline_loops += 1;  // outer loop's body is the inner loop statement
-      } else {
-        inline_loops += 1;  // single-statement body, runs until next ';'
-      }
-      // fall through so the current token is still processed below
-    }
-
-    if (pending_loop) {
-      if (x == "(") ++header_parens;
-      if (x == ")") {
-        --header_parens;
-        if (header_parens == 0) {
-          pending_loop = false;
-          awaiting_body = true;
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
         }
-      }
-      continue;  // nothing inside a loop header is a body allocation
-    }
-
-    if (x == "for" || x == "while") {
-      pending_loop = true;
-      header_parens = 0;
-      continue;
-    }
-    if (x == "{") {
-      brace_is_loop.push_back(false);
-      continue;
-    }
-    if (x == "}") {
-      if (!brace_is_loop.empty()) brace_is_loop.pop_back();
-      continue;
-    }
-    if (x == ";") {
-      if (inline_loops > 0) inline_loops = 0;  // statement bodies all end here
-      continue;
-    }
-
-    if (loop_depth() == 0) continue;
-
-    if (x == "new" ||
-        std::find(kAllocCalls.begin(), kAllocCalls.end(), x) != kAllocCalls.end()) {
-      out->push_back({path, toks[t].line, "kernel-alloc",
-                      "'" + x + "' inside a kernel loop; allocate in resize()/setup"});
-      continue;
-    }
-    const bool member_call =
-        t > 0 && (toks[t - 1].text == "." || toks[t - 1].text == ">") &&
-        t + 1 < toks.size() && toks[t + 1].text == "(";
-    if (member_call &&
-        std::find(kGrowthCalls.begin(), kGrowthCalls.end(), x) != kGrowthCalls.end()) {
-      out->push_back({path, toks[t].line, "kernel-alloc",
-                      "container growth ('." + x +
-                          "') inside a kernel loop; preallocate in resize()/setup"});
     }
   }
+  return out;
 }
 
-// ---------------------------------------------------------------------------
-// Rule: scalar-tail — a width-strided loop (for (; i + L <= n; i += L)) in a
-// kernel file must be followed by a scalar remainder loop, or block sizes
-// that are not a multiple of the vector width silently drop cells.
-// ---------------------------------------------------------------------------
-
-/// Extracts the stride token of a vector main loop on this line ("" if the
-/// line is not one): a `for` line containing `+ X <=` and `+= X`.
-std::string stride_of(const std::string& l) {
-  if (find_word(l, "for") == std::string::npos) return "";
-  const std::size_t pe = l.find("+=");
-  if (pe == std::string::npos) return "";
-  std::size_t q = skip_ws(l, pe + 2);
-  std::size_t e = q;
-  while (e < l.size() && ident_char(l[e])) ++e;
-  if (e == q) return "";
-  const std::string stride = l.substr(q, e - q);
-  // require "+ stride <=" earlier in the line (whitespace-tolerant)
-  for (std::size_t p = l.find('+'); p != std::string::npos && p < pe;
-       p = l.find('+', p + 1)) {
-    std::size_t a = skip_ws(l, p + 1);
-    if (l.compare(a, stride.size(), stride) != 0) continue;
-    std::size_t b = skip_ws(l, a + stride.size());
-    if (l.compare(b, 2, "<=") == 0) return stride;
-  }
-  return "";
-}
-
-void rule_scalar_tail(const FileImage& img, const std::string& path,
-                      std::vector<Diagnostic>* out) {
-  if (!kernel_scope(path) && !contains(path, "src/simd/")) return;
-  constexpr std::size_t kWindow = 80;  // tail must appear within this many lines
-  for (std::size_t li = 0; li < img.code.size(); ++li) {
-    const std::string stride = stride_of(img.code[li]);
-    if (stride.empty()) continue;
-    bool tail = false;
-    for (std::size_t lj = li + 1; lj < img.code.size() && lj <= li + kWindow; ++lj) {
-      const std::string& l = img.code[lj];
-      if (find_word(l, "for") == std::string::npos) continue;
-      if (l.find("+= " + stride) != std::string::npos || !stride_of(l).empty())
-        continue;  // another vector loop, not a tail
-      if (l.find('<') != std::string::npos && l.find("++") != std::string::npos) {
-        tail = true;
-        break;
-      }
+/// Reads the JSON string starting at the opening quote `p`; returns the
+/// unescaped value and leaves `p` past the closing quote.
+std::string scan_json_string(const std::string& s, std::size_t* p) {
+  std::string out;
+  std::size_t i = *p + 1;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char e = s[i + 1];
+      if (e == 'n') out += '\n';
+      else if (e == 't') out += '\t';
+      else if (e == 'r') out += '\r';
+      else out += e;  // \" \\ \/ and anything else: literal
+      i += 2;
+    } else {
+      out += s[i++];
     }
-    if (!tail)
-      out->push_back({path, static_cast<int>(li) + 1, "scalar-tail",
-                      "width-strided loop (stride '" + stride +
-                          "') has no scalar tail loop after it"});
   }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: header-guard — every header opens with #pragma once (repo idiom).
-// ---------------------------------------------------------------------------
-
-void rule_header_guard(const FileImage& img, const std::string& path,
-                       std::vector<Diagnostic>* out) {
-  if (!path.ends_with(".h")) return;
-  for (std::size_t li = 0; li < img.code.size(); ++li) {
-    const std::string t = trimmed(img.code[li]);
-    if (t.empty()) continue;
-    if (!t.starts_with("#pragma once"))
-      out->push_back({path, static_cast<int>(li) + 1, "header-guard",
-                      "header's first directive must be #pragma once"});
-    return;
-  }
-  out->push_back({path, 1, "header-guard", "empty header (no #pragma once)"});
-}
-
-// ---------------------------------------------------------------------------
-// Rule: include-hygiene — no ./ or ../ relative includes (all repo includes
-// are rooted at src/), no duplicate includes.
-// ---------------------------------------------------------------------------
-
-void rule_include_hygiene(const FileImage& img, const std::string& path,
-                          std::vector<Diagnostic>* out) {
-  std::set<std::string> seen;
-  for (std::size_t li = 0; li < img.code.size(); ++li) {
-    const std::string t = trimmed(img.code[li]);
-    if (!t.starts_with("#include")) continue;
-    const int line = static_cast<int>(li) + 1;
-    const std::size_t open = t.find_first_of("\"<", 8);
-    if (open == std::string::npos) continue;  // computed include, out of scope
-    const char close_ch = t[open] == '<' ? '>' : '"';
-    const std::size_t close = t.find(close_ch, open + 1);
-    if (close == std::string::npos) continue;
-    const std::string target = t.substr(open + 1, close - open - 1);
-    if (target.starts_with("./") || target.starts_with("../") ||
-        target.find("/./") != std::string::npos ||
-        target.find("/../") != std::string::npos)
-      out->push_back({path, line, "include-hygiene",
-                      "relative #include path '" + target +
-                          "'; include repo headers rooted at src/"});
-    if (!seen.insert(target).second)
-      out->push_back({path, line, "include-hygiene", "duplicate #include of '" + target + "'"});
-  }
+  *p = i < s.size() ? i + 1 : i;
+  return out;
 }
 
 }  // namespace
 
 const std::vector<std::string>& rule_names() {
-  static const std::vector<std::string> kRules = {
-      "raw-io",      "kernel-alloc",   "hot-assert",       "reinterpret-cast",
-      "scalar-tail", "header-guard",   "include-hygiene",  "bad-suppression"};
+  static const std::vector<std::string> kRules = [] {
+    std::vector<std::string> names;
+    for (const Rule& r : all_rules()) names.emplace_back(r.name);
+    names.emplace_back("bad-suppression");  // engine-level, not a pass
+    return names;
+  }();
   return kRules;
 }
 
 std::vector<Diagnostic> lint_file(const std::string& path, const std::string& content) {
   const FileImage img = scan(content);
+  const std::vector<Token> toks = lex(img);
+  const SymbolTable syms = build_symbols(toks);
+  const RuleContext ctx{path, img, toks, syms};
 
   std::vector<Suppression> sup;
   std::vector<Diagnostic> diags;
   parse_suppressions(img, path, &sup, &diags);
 
-  rule_raw_io(img, path, &diags);
-  rule_hot_assert(img, path, &diags);
-  rule_reinterpret_cast(img, path, &diags);
-  rule_kernel_alloc(img, path, &diags);
-  rule_scalar_tail(img, path, &diags);
-  rule_header_guard(img, path, &diags);
-  rule_include_hygiene(img, path, &diags);
+  for (const Rule& r : all_rules()) r.fn(ctx, &diags);
 
   // Apply suppressions: file-level kills the rule everywhere; line-level
   // covers the annotation's own line and the line below it.
@@ -545,7 +159,7 @@ std::vector<Diagnostic> lint_file(const std::string& path, const std::string& co
     if (d.rule != "bad-suppression") {
       for (const Suppression& s : sup) {
         if (s.rule != d.rule) continue;
-        if (s.file_level || d.line == s.line || d.line == s.line + 1) {
+        if (s.file_level || (d.line >= s.line && d.line <= s.cover_end)) {
           suppressed = true;
           break;
         }
@@ -554,6 +168,87 @@ std::vector<Diagnostic> lint_file(const std::string& path, const std::string& co
     if (!suppressed) kept.push_back(d);
   }
   return kept;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::string out = "{\n  \"version\": 1,\n  \"count\": ";
+  out += std::to_string(diags.size());
+  out += ",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"file\": \"" + json_escape(d.file) + "\", ";
+    out += "\"line\": " + std::to_string(d.line) + ", ";
+    out += "\"rule\": \"" + json_escape(d.rule) + "\", ";
+    out += "\"message\": \"" + json_escape(d.message) + "\"}";
+  }
+  out += diags.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string suppression_hint(const Diagnostic& d) {
+  return "// mpcf-lint: allow(" + d.rule + "): <why this is safe here>";
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& json) {
+  // Tolerant scanner: look for "file" / "rule" string keys; each completed
+  // (file, rule) pair becomes an entry. Key order inside an object doesn't
+  // matter; unknown keys are skipped.
+  std::vector<BaselineEntry> entries;
+  std::string file, rule;
+  bool have_file = false, have_rule = false;
+  for (std::size_t p = 0; p < json.size(); ++p) {
+    if (json[p] == '{' || json[p] == '}') {
+      have_file = have_rule = false;
+      continue;
+    }
+    if (json[p] != '"') continue;
+    const std::string key = scan_json_string(json, &p);
+    if (key != "file" && key != "rule") continue;
+    // expect : "value"
+    std::size_t q = p;
+    while (q < json.size() && (json[q] == ' ' || json[q] == '\t' || json[q] == ':'))
+      ++q;
+    if (q >= json.size() || json[q] != '"') continue;
+    const std::string value = scan_json_string(json, &q);
+    p = q - 1;
+    if (key == "file") {
+      file = value;
+      have_file = true;
+    } else {
+      rule = value;
+      have_rule = true;
+    }
+    if (have_file && have_rule) {
+      entries.push_back({file, rule});
+      have_file = have_rule = false;
+    }
+  }
+  return entries;
+}
+
+std::string render_baseline(const std::vector<Diagnostic>& diags) {
+  std::vector<BaselineEntry> entries;
+  for (const Diagnostic& d : diags) {
+    bool dup = false;
+    for (const BaselineEntry& e : entries)
+      dup = dup || (e.file == d.file && e.rule == d.rule);
+    if (!dup) entries.push_back({d.file, d.rule});
+  }
+  std::string out = "{\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"file\": \"" + json_escape(entries[i].file) + "\", ";
+    out += "\"rule\": \"" + json_escape(entries[i].rule) + "\"}";
+  }
+  out += entries.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool baseline_matches(const std::vector<BaselineEntry>& baseline, const Diagnostic& d) {
+  for (const BaselineEntry& e : baseline)
+    if (e.file == d.file && e.rule == d.rule) return true;
+  return false;
 }
 
 }  // namespace mpcf::lint

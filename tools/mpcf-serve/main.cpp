@@ -23,7 +23,8 @@
 namespace {
 
 std::atomic<bool> g_stop{false};
-void on_signal(int) { g_stop.store(true); }
+// order: relaxed — signal-handler-set drain flag; the server only polls it.
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 int usage() {
   std::fprintf(stderr,
